@@ -1,0 +1,68 @@
+"""Ablation: codec throughput and rate/accuracy on random vs smooth data.
+
+Measures the *real* (Python/NumPy) compression throughput of every
+codec with pytest-benchmark — the relative ordering (cast fastest, zfp
+~10x slower, zlib slowest) is the same ordering the GPU cost model
+assumes — and prints the rate/error table behind the Section IV-A
+discussion.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compression import (
+    CastCodec,
+    IdentityCodec,
+    MantissaTrimCodec,
+    ShuffleZlibCodec,
+    ZfpLikeCodec,
+    evaluate_codec,
+)
+
+N = 1 << 18  # 256k doubles = 2 MB messages
+
+
+def _data(kind: str) -> np.ndarray:
+    if kind == "random":
+        return np.random.default_rng(0).random(N)
+    t = np.linspace(0, 20 * np.pi, N)
+    return np.sin(t) + 0.2 * np.cos(5 * t)
+
+
+CODECS = {
+    "identity": IdentityCodec(),
+    "cast_fp32": CastCodec("fp32"),
+    "cast_fp16s": CastCodec("fp16", scaled=True),
+    "trim_m36": MantissaTrimCodec(36),
+    "zfp_rate4": ZfpLikeCodec(rate=4.0),
+    "zlib1": ShuffleZlibCodec(),
+}
+
+
+@pytest.mark.parametrize("name", list(CODECS))
+def test_codec_compress_throughput(benchmark, name):
+    codec = CODECS[name]
+    data = _data("random")
+    msg = benchmark(codec.compress, data)
+    mbps = data.nbytes / 1e6
+    print(f"\n{name}: {mbps:.1f} MB message -> {msg.nbytes / 1e6:.2f} MB on the wire")
+
+
+def test_random_vs_smooth_table():
+    print("\n=== Section IV-A ablation: codec rate/error by data kind ===")
+    for kind in ("random", "smooth"):
+        data = _data(kind)
+        print(f"--- {kind} data ---")
+        for name, codec in CODECS.items():
+            rep = evaluate_codec(codec, data)
+            print(f"  {name:<12} rate={rep.rate:6.2f}x  rel_l2={rep.rel_l2:9.2e}")
+    # the paper's claim: on random data zfp behaves like truncation...
+    zfp_rand = evaluate_codec(ZfpLikeCodec(rate=4.0), _data("random"))
+    cast_rand = evaluate_codec(CastCodec("fp16", scaled=True), _data("random"))
+    assert zfp_rand.rel_l2 > cast_rand.rel_l2 / 10  # no miracle on noise
+    # ...but wins handily on spatially-correlated data
+    zfp_smooth = evaluate_codec(ZfpLikeCodec(rate=4.0), _data("smooth"))
+    cast_smooth = evaluate_codec(CastCodec("fp16", scaled=True), _data("smooth"))
+    assert zfp_smooth.rel_l2 < cast_smooth.rel_l2 / 100

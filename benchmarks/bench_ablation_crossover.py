@@ -1,0 +1,57 @@
+"""Ablation: latency/bandwidth crossovers of the algorithm zoo.
+
+Two crossovers frame the paper's Fig. 4 story:
+
+* *compression break-even* — the per-pair message size below which the
+  kernels + latency cost more than the saved wire time (the regime the
+  FP16 curve enters beyond 384 GPUs);
+* *Bruck vs ring* — log-p start-ups vs log-p/2 volume blow-up.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine import SUMMIT
+from repro.netsim import (
+    bruck_alltoall_cost,
+    bruck_ring_crossover_bytes,
+    compression_breakeven_bytes,
+    osc_alltoall_cost,
+)
+
+
+def test_compression_breakeven_sweep(benchmark):
+    def sweep():
+        return {p: compression_breakeven_bytes(SUMMIT, p, rate=4.0) for p in (24, 96, 384, 1536)}
+
+    table = benchmark(sweep)
+    print("\n=== compression (rate 4) break-even message size ===")
+    for p, b in table.items():
+        print(f"  {p:>5d} GPUs: compression pays above {b:>8d} B per pair")
+    # Fig. 4 context: at 1536 GPUs and 1024^3 the per-pair message is
+    # ~7.3 KB compressed to ~1.8 KB: comfortably above break-even, but
+    # the margin is thinning — the observed taper.
+    assert all(b < 7300 for b in table.values())
+
+
+def test_bruck_ring_crossover_sweep(benchmark):
+    def sweep():
+        return {p: bruck_ring_crossover_bytes(SUMMIT, p) for p in (24, 96, 384, 1536)}
+
+    table = benchmark(sweep)
+    print("\n=== Bruck vs node-aware ring crossover ===")
+    for p, b in table.items():
+        print(f"  {p:>5d} GPUs: Bruck wins below {b:>8d} B per pair")
+    assert all(16 <= b <= 1_000_000 for b in table.values())
+
+
+@pytest.mark.parametrize("msg", [64, 4096, 262144])
+def test_algorithm_ordering_by_size(msg):
+    """Sanity: tiny messages -> Bruck; big messages -> ring."""
+    bruck = bruck_alltoall_cost(SUMMIT, 384, msg).total_s
+    ring = osc_alltoall_cost(SUMMIT, 384, msg).total_s
+    if msg <= 64:
+        assert bruck < ring
+    if msg >= 262144:
+        assert ring < bruck

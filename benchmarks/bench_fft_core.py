@@ -1,0 +1,64 @@
+"""Core-library benchmarks: the distributed FFT data path itself.
+
+These measure the *real* Python execution of the virtually-distributed
+transform (pack/compress/exchange/decompress/unpack + pocketfft), which
+is what CI watches for performance regressions of this repository —
+distinct from the modelled Summit numbers of bench_fig4.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compression import CastCodec, MantissaTrimCodec, ZfpLikeCodec
+from repro.fft import Fft3d
+from repro.runtime import VirtualWorld
+
+
+def _field(n: int) -> np.ndarray:
+    return np.random.default_rng(1).random((n, n, n))
+
+
+def test_fft_forward_exact(benchmark):
+    plan = Fft3d((32, 32, 32), 8)
+    x = _field(32)
+    benchmark(plan.forward, x)
+
+
+@pytest.mark.parametrize(
+    "codec",
+    [CastCodec("fp32"), CastCodec("fp16", scaled=True), MantissaTrimCodec(36), ZfpLikeCodec(rate=4.0)],
+    ids=lambda c: c.name,
+)
+def test_fft_forward_compressed(benchmark, codec):
+    plan = Fft3d((32, 32, 32), 8, codec=codec)
+    x = _field(32)
+    benchmark(plan.forward, x)
+    print(
+        f"\n{codec.name}: wire rate {plan.last_stats.achieved_rate:.2f}x "
+        f"({plan.last_stats.wire_bytes / 1e6:.2f} MB on the wire)"
+    )
+
+
+def test_fft_traffic_accounting(benchmark):
+    """Traffic reduction is exactly the codec rate (Section IV-B model)."""
+
+    def run():
+        w_plain, w_comp = VirtualWorld(8), VirtualWorld(8)
+        x = _field(32)
+        Fft3d((32, 32, 32), 8).forward(x, world=w_plain)
+        Fft3d((32, 32, 32), 8, codec=CastCodec("fp32")).forward(x, world=w_comp)
+        return w_plain.traffic.total_bytes, w_comp.traffic.total_bytes
+
+    plain, comp = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nexact wire: {plain / 1e6:.2f} MB, compressed wire: {comp / 1e6:.2f} MB")
+    assert plain == pytest.approx(2 * comp, rel=0.01)
+
+
+def test_local_fft_batch(benchmark):
+    """The compute kernel in isolation (one pencil phase)."""
+    from repro.fft import batched_fft
+
+    block = np.random.default_rng(2).random((64, 64, 64)) + 0j
+    benchmark(batched_fft, block, 0)

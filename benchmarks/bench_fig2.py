@@ -1,0 +1,19 @@
+"""Benchmark + regeneration of Fig. 2 (accuracy vs mantissa bits)."""
+
+from __future__ import annotations
+
+from repro.experiments import format_fig2, run_fig2
+
+
+def test_fig2_sweep(benchmark, full_scale):
+    shape = (32, 32, 32) if full_scale else (16, 16, 16)
+    bits = None if full_scale else [52, 44, 36, 28, 23]
+    rows = benchmark.pedantic(
+        lambda: run_fig2(shape=shape, nranks=8, mantissa_bits=bits), rounds=1, iterations=1
+    )
+    print("\n=== Fig. 2 (regenerated): accuracy vs wire bits ===")
+    print(format_fig2(rows))
+    by_label = {r.label: r for r in rows}
+    # the figure's two headline features:
+    assert by_label["m=52"].error < 1e-14
+    assert by_label["MP 64/32"].error < by_label["FP32"].error

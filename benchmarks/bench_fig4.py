@@ -1,0 +1,35 @@
+"""Benchmark + regeneration of Fig. 4 (1024^3 strong scaling)."""
+
+from __future__ import annotations
+
+from repro.experiments import format_fig4, run_fig4
+from repro.experiments.paper_data import FIG4_LANDMARKS
+
+
+def test_fig4_model_sweep(benchmark):
+    rows = benchmark(run_fig4)
+    print("\n=== Fig. 4 (regenerated): heFFTe 1024^3 strong scaling ===")
+    print(format_fig4(rows))
+    by_gpus = {r.gpus: r for r in rows}
+
+    target, tol = FIG4_LANDMARKS["fp16_tflops@1536"]
+    assert abs(by_gpus[1536].tflops["FP64->FP16"] - target) <= tol * target
+
+    target, tol = FIG4_LANDMARKS["fp32comp_speedup@1536"]
+    assert abs(by_gpus[1536].speedup["FP64->FP32"] - target) <= tol * target
+
+    # "we exceed a 4x speedup up to 384 GPUs"
+    for p in (48, 96, 192, 384):
+        assert by_gpus[p].speedup["FP64->FP16"] > 4.0
+    # latency dominance: speedup declines from its peak towards 1536
+    assert by_gpus[1536].speedup["FP64->FP16"] < by_gpus[384].speedup["FP64->FP16"]
+
+
+def test_fig4_communication_share(benchmark):
+    """The intro's motivation: >95% of time in communication at scale."""
+    from repro.machine import SUMMIT
+    from repro.netsim import fft3d_cost
+
+    cost = benchmark(lambda: fft3d_cost(SUMMIT, 1536, 1024, "FP64"))
+    print(f"\nFP64 @ 1536 GPUs: comm fraction = {cost.comm_fraction:.3f}")
+    assert cost.comm_fraction > 0.9

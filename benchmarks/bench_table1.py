@@ -1,0 +1,20 @@
+"""Benchmark + regeneration of paper Table I (FP formats, GPU peaks)."""
+
+from __future__ import annotations
+
+from repro.experiments import format_table1_experiment, run_table1
+
+
+def test_table1_rows(benchmark):
+    rows = benchmark(run_table1)
+    assert len(rows) == 4
+    print("\n=== Table I (regenerated) ===")
+    print(format_table1_experiment())
+
+
+def test_table1_matches_paper_values():
+    """The computed columns must match the paper's (they are IEEE facts)."""
+    by_name = {r.fmt.name: r for r in run_table1()}
+    assert abs(by_name["FP32"].fmt.unit_roundoff - 6.0e-8) / 6.0e-8 < 0.01
+    assert abs(by_name["FP16"].fmt.largest_normal - 6.6e4) / 6.6e4 < 0.01
+    assert by_name["FP16"].peak_v100_tflops == 125.0

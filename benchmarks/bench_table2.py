@@ -1,0 +1,32 @@
+"""Benchmark + regeneration of Table II (accuracy per GPU count).
+
+Real data movement through the virtual runtime.  Default scale keeps
+the bench fast (16^3 grid, 3 rank counts); ``REPRO_FULL=1`` runs the
+paper's full 12..1536 rank sweep on a 64^3 grid (about a minute).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import format_table2, run_table2
+from repro.experiments.paper_data import PAPER_TABLE2
+
+
+def test_table2_accuracy_sweep(benchmark, full_scale):
+    if full_scale:
+        kwargs = {"n": 64, "gpu_counts": [12, 24, 48, 96, 192, 384, 768, 1536]}
+    else:
+        kwargs = {"n": 32, "gpu_counts": [12, 24, 48]}
+    rows = benchmark.pedantic(lambda: run_table2(**kwargs), rounds=1, iterations=1)
+    print("\n=== Table II (regenerated) ===")
+    print(format_table2(rows))
+    print("\n--- paper values for comparison ---")
+    for p, vals in PAPER_TABLE2.items():
+        if p in {r.gpus for r in rows}:
+            print(
+                f"{p:>6d} {vals['FP64']:>10.2e} {vals['FP32']:>10.2e} "
+                f"{vals['FP64->FP32']:>11.2e}"
+            )
+    # the table's invariant at every rank count: FP64 << cast < FP32
+    for r in rows:
+        assert r.fp64 < 1e-13
+        assert r.fp64 < r.cast < r.fp32

@@ -1,0 +1,23 @@
+"""Extension study: weak scaling (constant cells per GPU).
+
+The paper shows strong scaling only; this bench grows problem and
+machine together and watches where compression stops carrying the weak
+efficiency — the Fig. 4 latency taper taken to its logical end.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.weak import format_weak_scaling, run_weak_scaling
+
+
+def test_weak_scaling_sweep(benchmark):
+    rows = benchmark(run_weak_scaling)
+    print("\n=== weak scaling (constant N^3 per GPU) ===")
+    print(format_weak_scaling(rows))
+    # compressed transforms hold weak efficiency far better than FP64
+    # through the paper's scales...
+    mid = [r for r in rows if 384 <= r.gpus <= 3072]
+    assert all(r.efficiency["FP64->FP32"] > r.efficiency["FP64"] for r in mid)
+    # ...and the advantage dies in the extreme latency-bound regime.
+    if rows[-1].gpus > 10_000:
+        assert rows[-1].efficiency["FP64->FP16"] < rows[-2].efficiency["FP64->FP16"]

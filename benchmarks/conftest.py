@@ -1,0 +1,25 @@
+"""Benchmark configuration.
+
+Set ``REPRO_FULL=1`` to run the paper-scale parameterisations (full GPU
+sweeps, larger grids); the default keeps every bench under a few
+seconds so ``pytest benchmarks/ --benchmark-only`` stays quick.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+FULL = os.environ.get("REPRO_FULL", "0") == "1"
+
+
+@pytest.fixture(scope="session")
+def full_scale() -> bool:
+    return FULL
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(20220905)

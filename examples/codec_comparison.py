@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Compare every codec on random vs spatially-correlated 3-D fields.
+
+The Section IV-A discussion in one table: truncation is cheap and
+predictable; the ZFP-like transform codec wins on smooth data (it can
+hold the same error at a much higher rate, or much lower error at the
+same rate) but degenerates to truncation-like behaviour on noise; the
+lossless fallback is exact but data-dependent.
+
+Run:  python examples/codec_comparison.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compression import (
+    CastCodec,
+    IdentityCodec,
+    MantissaTrimCodec,
+    ShuffleZlibCodec,
+    ZfpLikeCodec,
+    evaluate_codec,
+)
+
+
+def make_fields(n: int = 48) -> dict[str, np.ndarray]:
+    rng = np.random.default_rng(7)
+    g = np.linspace(0, 2 * np.pi, n)
+    X, Y, Z = np.meshgrid(g, g, g, indexing="ij")
+    smooth = np.sin(X) * np.cos(2 * Y) * np.sin(Z) + 0.1 * np.cos(3 * X * Y / np.pi)
+    return {
+        "random (paper Sec. VI)": rng.random((n, n, n)),
+        "smooth 3-D field": smooth,
+        "smooth + 1% noise": smooth + 0.01 * rng.standard_normal((n, n, n)),
+    }
+
+
+def main() -> None:
+    codecs = [
+        IdentityCodec(),
+        CastCodec("fp32"),
+        CastCodec("fp16", scaled=True),
+        CastCodec("bf16"),
+        MantissaTrimCodec(36),
+        MantissaTrimCodec(20),
+        ZfpLikeCodec(rate=4.0),
+        ZfpLikeCodec(rate=8.0),
+        ZfpLikeCodec(tolerance=1e-6),
+        ShuffleZlibCodec(level=6),
+    ]
+    for label, field in make_fields().items():
+        print("=" * 72)
+        print(f"data: {label}")
+        print("=" * 72)
+        print(f"{'codec':<18} {'rate':>7} {'rel l2':>10} {'max abs':>10}")
+        for codec in codecs:
+            rep = evaluate_codec(codec, field.reshape(-1))
+            print(
+                f"{codec.name:<18} {rep.rate:>6.2f}x {rep.rel_l2:>10.2e} {rep.max_abs:>10.2e}"
+            )
+        print()
+
+    print("Reading guide:")
+    print(" * at rate 4, compare zfp_rate4 vs cast_fp16: equal wire volume —")
+    print("   orders of magnitude better accuracy on the smooth field,")
+    print("   no advantage on random data (the paper's Section IV-A point);")
+    print(" * zfp_tol adapts its rate: high on smooth data, ~2x on noise;")
+    print(" * zlib is exact; the byte shuffle only pays off on smooth data.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Mixed-precision iterative refinement: FP16-grade FFTs, FP64 answers.
+
+The paper's Section I motivates compression with the iterative
+refinement playbook: do the heavy operation fast and sloppy, then let a
+cheap high-precision outer loop recover the digits.  Here the sloppy
+operation is the spectral Poisson solve with rate-4 (FP16-cast)
+reshapes; each refinement pass costs one such solve and contracts the
+residual by roughly the codec's relative error.
+
+Run:  python examples/iterative_refinement.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compression import CastCodec, MantissaTrimCodec
+from repro.solvers import SpectralPoissonSolver, refine_poisson
+
+SHAPE = (32, 32, 32)
+
+
+def rhs_field() -> np.ndarray:
+    solver = SpectralPoissonSolver(SHAPE)
+    X, Y, Z = solver.grid.mesh()
+    r2 = (X - np.pi) ** 2 + (Y - np.pi) ** 2 + (Z - np.pi) ** 2
+    return np.exp(-2.0 * r2) + 0.3 * np.sin(X) * np.cos(2 * Y)
+
+
+def main() -> None:
+    f = rhs_field()
+    exact = SpectralPoissonSolver(SHAPE, nranks=8)
+    u_ref = exact.solve(f)
+
+    print(f"Poisson-type solve on {SHAPE[0]}^3, target residual 1e-12\n")
+    for label, codec in [
+        ("FP64->FP16 inner (rate 4)", CastCodec("fp16", scaled=True)),
+        ("FP64->FP32 inner (rate 2)", CastCodec("fp32")),
+        ("trim m=36 inner (rate 1.3)", MantissaTrimCodec(36)),
+    ]:
+        result = refine_poisson(f, SHAPE, nranks=8, inner_codec=codec, tol=1e-12)
+        err = np.linalg.norm(result.solution - u_ref) / np.linalg.norm(u_ref)
+        print(f"{label}:")
+        print(f"  iterations       : {result.iterations}")
+        history = " -> ".join(f"{r:.1e}" for r in result.residual_history)
+        print(f"  residual history : {history}")
+        print(f"  error vs FP64    : {err:.2e}\n")
+
+    print(
+        "Reading guide: every inner solve ships 2-4x fewer bytes than an\n"
+        "FP64 solve, and the outer loop converges in a handful of sweeps —\n"
+        "total communication is far below one FP64 solve per digit gained."
+    )
+
+
+if __name__ == "__main__":
+    main()

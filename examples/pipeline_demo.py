@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Section V-B mechanics: the chunk-counter compression pipeline.
+
+Walks through the exact progress-tracking trick of the paper — a marker
+kernel after every compression kernel bumps a shared counter that the
+host polls to trigger puts — and prints the resulting timeline for
+several chunk counts, verifying the headline cost claim:
+
+    total ~= compress(first chunk) + wire(all compressed bytes)
+
+Run:  python examples/pipeline_demo.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compression import CastCodec
+from repro.gpudev import CompressionPipeline
+from repro.machine import SUMMIT
+from repro.utils import format_time
+
+LINK = 12.5e9  # Summit one-direction injection bandwidth
+MSG_VALUES = 4_000_000  # a 32 MB FP64 message
+
+
+def main() -> None:
+    data = np.random.default_rng(0).random(MSG_VALUES)
+    codec = CastCodec("fp32")
+
+    print(f"message: {data.nbytes / 1e6:.0f} MB FP64, codec {codec.name} (rate 2)")
+    print(f"wire-only lower bound: {format_time(data.nbytes / 2 / LINK)}\n")
+    print(f"{'chunks':>7} {'fill (1st compress)':>20} {'total':>12} {'vs wire-only':>13}")
+
+    for chunks in (1, 2, 4, 8, 16, 32, 64):
+        pipe = CompressionPipeline(SUMMIT.gpu, codec, link_bytes_per_s=LINK, chunks=chunks)
+        msgs, trace = pipe.run(data)
+        wire = sum(m.nbytes for m in msgs) / LINK
+        print(
+            f"{chunks:>7d} {format_time(trace.first_compress_s):>20} "
+            f"{format_time(trace.total_s):>12} {trace.total_s / wire:>12.3f}x"
+        )
+
+    print("\ntimeline of the 8-chunk run (compress done -> put start -> put done):")
+    pipe = CompressionPipeline(SUMMIT.gpu, codec, link_bytes_per_s=LINK, chunks=8)
+    _, trace = pipe.run(data)
+    for i, (c, s, d) in enumerate(
+        zip(trace.chunk_compress_done, trace.chunk_put_start, trace.chunk_put_done)
+    ):
+        bar_off = int(c * 2e4)
+        bar_len = max(1, int((d - s) * 2e4))
+        print(f"  chunk {i}: {' ' * bar_off}{'#' * bar_len}   ({format_time(d)})")
+    print(
+        "\nCompression of chunk k+1 rides the stream while chunk k flies —\n"
+        "only the first chunk's compression is exposed (the paper's claim)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Algorithm 2: spectral solve of -Δu + u = f with approximate FFTs.
+
+Reproduces the Section III workflow end to end:
+
+1. solve with exact FFTs at several resolutions -> observe the
+   (exponential) spectral convergence of the discretisation error e_d;
+2. estimate e_d a-posteriori from a grid pair (no analytic solution
+   needed);
+3. balance the budgets: re-solve with the FFT tolerance set to e_d —
+   the compressed solve is as accurate as the exact one *for the PDE*,
+   while the reshapes ship far fewer bytes.
+
+Run:  python examples/poisson_solver.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.solvers import (
+    SpectralPoissonSolver,
+    estimate_discretization_error,
+    solve_with_balanced_tolerance,
+)
+
+
+def gaussian_rhs(X, Y, Z):
+    """A smooth, effectively-periodic bump: not band-limited, so the
+    discretisation error is finite and resolution-dependent."""
+    r2 = (X - np.pi) ** 2 + (Y - np.pi) ** 2 + (Z - np.pi) ** 2
+    return np.exp(-2.0 * r2)
+
+
+def main() -> None:
+    print("=" * 68)
+    print("1. Spectral convergence of the exact solver (e_d vs resolution)")
+    print("=" * 68)
+    reference = SpectralPoissonSolver((64, 64, 64))
+    u_ref = reference.solve(reference.sample(gaussian_rhs))
+    for n in (8, 16, 32):
+        est = estimate_discretization_error(gaussian_rhs, (n, n, n))
+        print(f"  N={n:>3d}: a-posteriori e_d estimate = {est.estimate:.3e}")
+
+    print()
+    print("=" * 68)
+    print("2. Balanced-tolerance solve (Section III: make e_r ~ e_d)")
+    print("=" * 68)
+    n = 32
+    u, est, solver = solve_with_balanced_tolerance(gaussian_rhs, (n, n, n), nranks=8)
+    codec = solver.fft.codec
+    print(f"  grid {n}^3, estimated e_d = {est.estimate:.3e}")
+    print(f"  chosen e_tol            = {est.suggested_e_tol:.3e}")
+    print(f"  unlocked codec          = {codec.name if codec else 'none (exact)'}")
+    print(f"  wire compression        = {solver.fft.last_stats.achieved_rate:.2f}x")
+
+    exact = SpectralPoissonSolver((n, n, n), nranks=8)
+    u_exact = exact.solve(exact.sample(gaussian_rhs))
+    num_err = np.linalg.norm(u - u_exact) / np.linalg.norm(u_exact)
+    print(f"  numerical error added   = {num_err:.3e}  (<= e_d: budget balanced)")
+
+    print()
+    print("=" * 68)
+    print("3. What a mismatched budget would waste")
+    print("=" * 68)
+    for e_tol, label in [(1e-14, "too tight (wasted bytes)"), (1e-2, "too loose (accuracy lost)")]:
+        s = SpectralPoissonSolver((n, n, n), nranks=8, e_tol=e_tol, data_hint="random")
+        u_s = s.solve(s.sample(gaussian_rhs))
+        err = np.linalg.norm(u_s - u_exact) / np.linalg.norm(u_exact)
+        rate = s.fft.last_stats.achieved_rate
+        print(f"  e_tol={e_tol:7.0e}: numerical error {err:.2e}, rate {rate:5.2f}x   [{label}]")
+
+
+if __name__ == "__main__":
+    main()

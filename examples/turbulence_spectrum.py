@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Application study: energy spectra of a synthetic turbulence field.
+
+Pseudo-spectral CFD codes are heFFTe's flagship workload: they take a
+3-D FFT of the velocity field every step and often only need the
+spectrum to a few digits.  This example synthesises a Kolmogorov-like
+field (E(k) ~ k^-5/3), pushes it through the distributed FFT with
+increasingly aggressive reshape compression, and shows how many decades
+of the spectrum survive each setting — a concrete "choice of the
+compression technique" study, the paper's first future-work item.
+
+Run:  python examples/turbulence_spectrum.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import CastCodec, Fft3d, MantissaTrimCodec, ZfpLikeCodec
+
+N = 64
+NRANKS = 8
+
+
+def synthesize_turbulence(n: int, seed: int = 42) -> np.ndarray:
+    """Random-phase field with a k^-5/3 energy spectrum (real valued)."""
+    rng = np.random.default_rng(seed)
+    k = np.fft.fftfreq(n, d=1.0 / n)
+    kx, ky, kz = np.meshgrid(k, k, k, indexing="ij")
+    kk = np.sqrt(kx**2 + ky**2 + kz**2)
+    kk[0, 0, 0] = 1.0
+    amplitude = kk ** (-5.0 / 6.0 - 1.0)  # E ~ |u_hat|^2 * k^2 ~ k^-5/3
+    amplitude[0, 0, 0] = 0.0
+    phases = np.exp(2j * np.pi * rng.random((n, n, n)))
+    u_hat = amplitude * phases
+    u = np.fft.ifftn(u_hat).real
+    return u / np.abs(u).max()
+
+
+def shell_spectrum(u_hat: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Spherically-averaged energy spectrum E(k) of a transform."""
+    n = u_hat.shape[0]
+    k = np.fft.fftfreq(n, d=1.0 / n)
+    kx, ky, kz = np.meshgrid(k, k, k, indexing="ij")
+    kk = np.sqrt(kx**2 + ky**2 + kz**2)
+    bins = np.arange(0.5, n // 2)
+    which = np.digitize(kk.reshape(-1), bins)
+    energy = np.abs(u_hat.reshape(-1)) ** 2
+    spectrum = np.bincount(which, weights=energy, minlength=bins.size + 1)[1:-1]
+    return bins[:-1] + 0.5, spectrum
+
+
+def main() -> None:
+    u = synthesize_turbulence(N)
+    exact_plan = Fft3d((N, N, N), NRANKS)
+    ref = exact_plan.forward(u)
+    k, e_ref = shell_spectrum(ref)
+
+    configs = [
+        ("exact FP64", None),
+        ("cast FP32 (rate 2)", CastCodec("fp32")),
+        ("trim m=20 (rate 2.7)", MantissaTrimCodec(20)),
+        ("cast FP16 (rate 4)", CastCodec("fp16", scaled=True)),
+        ("zfp rate 4", ZfpLikeCodec(rate=4.0)),
+        ("zfp rate 8", ZfpLikeCodec(rate=8.0)),
+    ]
+
+    print(f"synthetic turbulence, {N}^3 grid, {NRANKS} ranks")
+    print(f"{'config':<22} {'rate':>6} {'field err':>10} {'spectrum err':>13} {'decades ok':>11}")
+    for label, codec in configs:
+        plan = Fft3d((N, N, N), NRANKS, codec=codec)
+        out = plan.forward(u)
+        _, e = shell_spectrum(out)
+        field_err = np.linalg.norm(out - ref) / np.linalg.norm(ref)
+        spec_err = np.max(np.abs(e - e_ref) / e_ref)
+        # how many decades of E(k) are reproduced to better than 1%?
+        rel = np.abs(e - e_ref) / e_ref
+        ok = rel < 1e-2
+        decades = np.log10(e_ref.max() / e_ref[ok].min()) if ok.any() else 0.0
+        rate = plan.last_stats.achieved_rate if codec else 1.0
+        print(
+            f"{label:<22} {rate:>5.2f}x {field_err:>10.2e} {spec_err:>13.2e} {decades:>10.1f}"
+        )
+
+    print(
+        "\nInterpretation: the spectrum spans ~{:.0f} decades; FP32-grade"
+        " compression preserves all of it, FP16/zfp-8 start clipping the"
+        " dissipative tail first — the large scales (the physics most"
+        " applications consume) survive every setting.".format(np.log10(e_ref.max() / e_ref.min()))
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""Command-line experiment runner: ``python -m repro <experiment>``.
+
+Regenerates the paper's tables and figures from the terminal without
+pytest:
+
+    python -m repro table1
+    python -m repro fig3
+    python -m repro all --full      # paper-scale parameterisations
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import (
+    format_fig2,
+    format_fig3,
+    format_fig4,
+    format_table1_experiment,
+    format_table2,
+    run_fig2,
+    run_fig3,
+    run_fig4,
+    run_table2,
+)
+
+_EXPERIMENTS = ("table1", "fig2", "fig3", "fig4", "table2", "report")
+
+
+def _run_one(name: str, full: bool) -> str:
+    if name == "report":
+        from repro.experiments.report import check_landmarks, format_report
+
+        n = 64 if full else 16
+        return "=== paper-vs-measured landmark report ===\n" + format_report(
+            check_landmarks(table2_n=n)
+        )
+    if name == "table1":
+        return "=== Table I ===\n" + format_table1_experiment()
+    if name == "fig2":
+        shape = (32, 32, 32) if full else (16, 16, 16)
+        bits = None if full else [52, 44, 36, 28, 23]
+        return "=== Fig. 2 ===\n" + format_fig2(
+            run_fig2(shape=shape, nranks=8, mantissa_bits=bits)
+        )
+    if name == "fig3":
+        return "=== Fig. 3 ===\n" + format_fig3(run_fig3())
+    if name == "fig4":
+        return "=== Fig. 4 ===\n" + format_fig4(run_fig4())
+    if name == "table2":
+        if full:
+            rows = run_table2(n=64, gpu_counts=[12, 24, 48, 96, 192, 384, 768, 1536])
+        else:
+            rows = run_table2(n=32, gpu_counts=[12, 24, 48])
+        return "=== Table II ===\n" + format_table2(rows)
+    raise SystemExit(f"unknown experiment {name!r}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=(*_EXPERIMENTS, "all"),
+        help="which artefact to regenerate",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="paper-scale parameterisations (slower)",
+    )
+    args = parser.parse_args(argv)
+
+    names = _EXPERIMENTS if args.experiment == "all" else (args.experiment,)
+    for name in names:
+        print(_run_one(name, args.full))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,122 @@
+"""Fig. 2 sweep and the error-decomposition algebra of Section III.
+
+Fig. 2 plots the FFT round-trip accuracy as the communicated mantissa
+shrinks from FP64's 52 bits down to FP32's 23, together with (a) the MP
+64/32 point — FP64 compute, FP32 communication — and (b) the theoretical
+acceleration ``64 / (12 + m + ...)`` implied by the shrinking wire
+format.  :func:`mantissa_sweep` reproduces the whole curve on a
+distributed plan.
+
+:class:`ErrorDecomposition` carries the ``e_a = e_d + e_r`` split the
+paper uses to argue tolerances should be *balanced*: making the
+round-off/compression error much smaller than the discretisation error
+buys nothing but time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.compression.mantissa import MantissaTrimCodec
+from repro.compression.truncation import CastCodec
+from repro.errors import ToleranceError
+from repro.fft.plan import Fft3d
+
+__all__ = ["MantissaSweepPoint", "mantissa_sweep", "ErrorDecomposition"]
+
+
+@dataclass(frozen=True)
+class MantissaSweepPoint:
+    """One point of Fig. 2."""
+
+    label: str
+    total_bits: int  # sign + exponent + mantissa on the wire
+    error: float
+
+    @property
+    def theoretical_acceleration(self) -> float:
+        """Communication speedup = 64 / wire bits (Section IV-B model)."""
+        return 64.0 / self.total_bits
+
+
+def mantissa_sweep(
+    shape: tuple[int, int, int],
+    nranks: int,
+    x: np.ndarray,
+    *,
+    mantissa_bits: list[int] | None = None,
+    include_mixed: bool = True,
+    include_fp32_reference: bool = True,
+) -> list[MantissaSweepPoint]:
+    """Reproduce the Fig. 2 curve on a virtually-distributed FFT.
+
+    Parameters
+    ----------
+    shape, nranks:
+        Plan geometry.
+    x:
+        Input field (real or complex, ``shape``-shaped).
+    mantissa_bits:
+        Mantissa widths to sweep (default: 52 down to 23 in steps of ~4,
+        bracketing FP64 -> FP32 like the figure).
+    include_mixed:
+        Append the "MP 64/32" point (FP64 compute, FP32 casts on the
+        wire — the proposed approximate FFT).
+    include_fp32_reference:
+        Append the all-FP32 execution (compute *and* data in FP32).
+    """
+    if mantissa_bits is None:
+        mantissa_bits = [52, 48, 44, 40, 36, 32, 28, 26, 24, 23]
+    if any(not 1 <= m <= 52 for m in mantissa_bits):
+        raise ToleranceError("mantissa_bits entries must be in [1, 52]")
+
+    points: list[MantissaSweepPoint] = []
+    for m in mantissa_bits:
+        codec = None if m == 52 else MantissaTrimCodec(m)
+        plan = Fft3d(shape, nranks, codec=codec)
+        err = plan.roundtrip_error(x)
+        points.append(MantissaSweepPoint(f"m={m}", 12 + m, err))
+    if include_mixed:
+        plan = Fft3d(shape, nranks, codec=CastCodec("fp32"))
+        points.append(MantissaSweepPoint("MP 64/32", 32, plan.roundtrip_error(x)))
+    if include_fp32_reference:
+        plan = Fft3d(shape, nranks, precision="fp32")
+        points.append(MantissaSweepPoint("FP32", 32, plan.roundtrip_error(x)))
+    return points
+
+
+@dataclass(frozen=True)
+class ErrorDecomposition:
+    """The ``e_a = e_d + e_r`` split of Section III.
+
+    ``discretisation`` is the PDE-level error (``e_d``, controlled by
+    grid resolution); ``roundoff`` the numerical error of the solver
+    (``e_r``, controlled by precision/compression).
+    """
+
+    discretisation: float
+    roundoff: float
+
+    @property
+    def total_bound(self) -> float:
+        """``||e_a|| <= 2 max(||e_d||, ||e_r||)`` (paper, Section III)."""
+        return 2.0 * max(self.discretisation, self.roundoff)
+
+    @property
+    def balanced(self) -> bool:
+        """True when neither error wastes the other's budget (within 10x)."""
+        lo, hi = sorted((self.discretisation, self.roundoff))
+        return lo > 0 and hi / lo <= 10.0
+
+    def suggested_e_tol(self) -> float:
+        """Tolerance to pass to the approximate FFT: match ``e_d``.
+
+        "If a user requires a solver with a guaranteed error below
+        ``e_tol``, the ``e_d`` and ``e_r`` errors must be balanced" —
+        the FFT may be as sloppy as the discretisation already is.
+        """
+        if self.discretisation <= 0:
+            raise ToleranceError("discretisation error must be positive")
+        return self.discretisation

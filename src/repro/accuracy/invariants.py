@@ -1,0 +1,82 @@
+"""FFT invariant checkers: Parseval, linearity, shift theorem, symmetry.
+
+The FFT "is a collection of orthogonal transformations" (Section I) —
+which gives a family of exact identities any implementation (including
+an *approximate* one, up to its tolerance) must satisfy.  These checkers
+quantify the violation, serving both the property-based test suite and
+users validating a codec choice on their own data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import PlanError
+from repro.fft.plan import Fft3d
+
+__all__ = [
+    "parseval_defect",
+    "linearity_defect",
+    "shift_theorem_defect",
+    "hermitian_defect",
+]
+
+
+def parseval_defect(plan: Fft3d, x: np.ndarray) -> float:
+    """Relative violation of ``||X||^2 = N^3 ||x||^2`` (orthogonality).
+
+    Zero for an exact transform; of order the codec tolerance for an
+    approximate one.
+    """
+    x = np.asarray(x, dtype=np.complex128)
+    X = plan.forward(x)
+    n3 = float(np.prod(plan.shape))
+    lhs = float(np.vdot(X, X).real)
+    rhs = n3 * float(np.vdot(x, x).real)
+    return abs(lhs - rhs) / rhs if rhs else abs(lhs)
+
+
+def linearity_defect(plan: Fft3d, x: np.ndarray, y: np.ndarray, a: float = 2.0, b: float = -0.5) -> float:
+    """Relative violation of ``F(a x + b y) = a F(x) + b F(y)``.
+
+    Note: *compression is non-linear* (rounding), so an approximate plan
+    violates this at the codec tolerance — a useful probe of how lossy
+    a configuration really is.
+    """
+    x = np.asarray(x, dtype=np.complex128)
+    y = np.asarray(y, dtype=np.complex128)
+    if x.shape != y.shape:
+        raise PlanError("linearity check needs equal shapes")
+    lhs = plan.forward(a * x + b * y)
+    rhs = a * plan.forward(x) + b * plan.forward(y)
+    denom = np.linalg.norm(rhs.reshape(-1))
+    return float(np.linalg.norm((lhs - rhs).reshape(-1)) / denom) if denom else 0.0
+
+
+def shift_theorem_defect(plan: Fft3d, x: np.ndarray, shift: tuple[int, int, int] = (1, 0, 0)) -> float:
+    """Relative violation of ``F(x shifted) = phase * F(x)``."""
+    x = np.asarray(x, dtype=np.complex128)
+    rolled = np.roll(x, shift, axis=(0, 1, 2))
+    lhs = plan.forward(rolled)
+    X = plan.forward(x)
+    phase = np.ones(plan.shape, dtype=np.complex128)
+    for axis, s in enumerate(shift):
+        if s == 0:
+            continue
+        k = np.fft.fftfreq(plan.shape[axis], d=1.0) * plan.shape[axis]
+        shape = [1, 1, 1]
+        shape[axis] = plan.shape[axis]
+        phase = phase * np.exp(-2j * np.pi * k * s / plan.shape[axis]).reshape(shape)
+    rhs = phase * X
+    denom = np.linalg.norm(rhs.reshape(-1))
+    return float(np.linalg.norm((lhs - rhs).reshape(-1)) / denom) if denom else 0.0
+
+
+def hermitian_defect(plan: Fft3d, x_real: np.ndarray) -> float:
+    """Violation of conjugate symmetry ``X[-k] = conj(X[k])`` for real input."""
+    x_real = np.asarray(x_real, dtype=np.float64)
+    X = plan.forward(x_real.astype(np.complex128))
+    mirrored = np.conj(X[::-1, ::-1, ::-1])
+    mirrored = np.roll(mirrored, (1, 1, 1), axis=(0, 1, 2))  # align k -> -k
+    denom = np.linalg.norm(X.reshape(-1))
+    return float(np.linalg.norm((X - mirrored).reshape(-1)) / denom) if denom else 0.0

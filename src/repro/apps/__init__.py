@@ -1,0 +1,20 @@
+"""Application kernels built on the approximate FFT.
+
+The paper's opening sentence lists the FFT's customers: "PDE simulations
+and solvers, fast convolution, molecular dynamics, and many others".
+:mod:`repro.solvers` covers the PDE case; this package covers the other
+two:
+
+* :mod:`~repro.apps.convolution` — distributed fast convolution
+  (periodic and zero-padded linear) through the r2c pipeline;
+* :mod:`~repro.apps.pme` — a particle-mesh Ewald-style long-range
+  electrostatics solver: charge spreading, reciprocal-space solve via
+  the distributed FFT, force interpolation — the kernel at the heart of
+  molecular-dynamics packages, and a realistic consumer of
+  tolerance-controlled transforms.
+"""
+
+from repro.apps.convolution import DistributedConvolution
+from repro.apps.pme import PmeSolver
+
+__all__ = ["DistributedConvolution", "PmeSolver"]

@@ -1,0 +1,136 @@
+"""One-sided (OSC) ring all-to-all — Algorithm 3 of the paper.
+
+Every rank exposes a receive staging buffer through an RMA window; the
+ring then replaces each two-sided send with an ``MPI_Win_put`` into the
+destination's window at the offset reserved for this source.  Two fences
+delimit the exchange epoch ("the global synchronization needed to ensure
+all communication in the window are now completed at both the origin and
+the target").
+
+Window creation "is a collective operation and therefore has a high
+cost.  However, when the all-to-all is performed multiple times on the
+same memory fragment, it is possible to cache this window" — hence the
+class form: one :class:`OscAlltoallv` instance caches its window across
+calls and only re-creates it (collectively, deterministically on all
+ranks) when the exchanged sizes change.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import CommunicatorError
+from repro.machine.topology import Topology
+from repro.runtime.base import Comm
+from repro.runtime.window import Window
+
+__all__ = ["OscAlltoallv", "osc_alltoallv"]
+
+
+class OscAlltoallv:
+    """Reusable one-sided ring all-to-all with a cached window.
+
+    Parameters
+    ----------
+    comm:
+        Runtime communicator (all ranks construct collectively).
+    topology:
+        Optional machine topology enabling the node-aware ring
+        permutation (Section V).
+    """
+
+    def __init__(self, comm: Comm, *, topology: Topology | None = None) -> None:
+        if topology is not None and topology.nranks != comm.size:
+            raise CommunicatorError("topology size does not match communicator size")
+        self.comm = comm
+        self.topology = topology
+        self._win: Window | None = None
+        self._win_capacity = -1
+        self._cached_sizes: tuple[tuple[int, ...], ...] | None = None
+
+    # -- window management ------------------------------------------------------
+
+    def _ensure_window(self, all_sizes: np.ndarray) -> tuple[Window, np.ndarray]:
+        """(Re)create the cached window when the size matrix changed.
+
+        ``all_sizes[s, d]`` = bytes rank ``s`` sends to rank ``d``.  The
+        decision is a pure function of ``all_sizes`` (identical on every
+        rank), keeping creation collective.
+        """
+        key = tuple(map(tuple, all_sizes.tolist()))
+        my_total = int(all_sizes[:, self.comm.rank].sum())
+        if self._win is None or self._cached_sizes != key or self._win_capacity < my_total:
+            if self._win is not None:
+                self._win.free()
+            self._win = self.comm.win_create(my_total)
+            self._win_capacity = my_total
+            self._cached_sizes = key
+        # Receive offsets: source s lands at sum of earlier sources' sizes.
+        offsets = np.concatenate([[0], np.cumsum(all_sizes[:, self.comm.rank])[:-1]])
+        return self._win, offsets.astype(np.int64)
+
+    def free(self) -> None:
+        """Collectively release the cached window (if any)."""
+        if self._win is not None:
+            self._win.free()
+            self._win = None
+            self._win_capacity = -1
+            self._cached_sizes = None
+
+    # -- the exchange -------------------------------------------------------------
+
+    def __call__(self, send: Sequence[np.ndarray | None]) -> list[np.ndarray]:
+        """Exchange ``send[d]`` → rank ``d``; returns per-source uint8 chunks.
+
+        The window transports raw bytes, so receives are returned as
+        ``uint8`` arrays; callers re-view them (the FFT layer exchanges
+        packed byte streams anyway).
+        """
+        comm, p = self.comm, self.comm.size
+        if len(send) != p:
+            raise CommunicatorError(f"send list has {len(send)} entries for {p} ranks")
+        chunks = [
+            np.zeros(0, dtype=np.uint8)
+            if c is None
+            else np.ascontiguousarray(c).view(np.uint8).reshape(-1)
+            for c in send
+        ]
+        my_sizes = np.array([c.size for c in chunks], dtype=np.int64)
+        all_sizes = np.array(comm.allgather(my_sizes.tolist()), dtype=np.int64)
+
+        win, offsets = self._ensure_window(all_sizes)
+
+        from repro.collectives.pairwise import ring_peers
+
+        win.fence()  # open epoch — "synchronization phase to make sure all processes are ready"
+        for step in range(p):
+            dest, _ = ring_peers(comm.rank, step, p, self.topology)
+            data = chunks[dest]
+            if data.size:
+                # where my bytes live in dest's window:
+                offset = int(all_sizes[: comm.rank, dest].sum())
+                win.put(data, dest, offset=offset)
+        win.fence()  # close epoch — all puts complete everywhere
+
+        local = win.local_view()
+        recv: list[np.ndarray] = []
+        for s in range(p):
+            size = int(all_sizes[s, comm.rank])
+            recv.append(local[int(offsets[s]) : int(offsets[s]) + size].copy())
+        return recv
+
+
+def osc_alltoallv(
+    comm: Comm,
+    send: Sequence[np.ndarray | None],
+    *,
+    topology: Topology | None = None,
+) -> list[np.ndarray]:
+    """One-shot helper (no window caching): build, exchange, free."""
+    op = OscAlltoallv(comm, topology=topology)
+    try:
+        return op(send)
+    finally:
+        op.free()

@@ -1,0 +1,89 @@
+"""Classical two-sided ring ("pairwise") all-to-all (Section V).
+
+For ``p`` ranks the exchange completes in ``p`` steps (including the
+self-send).  At step ``j`` rank ``i`` sends to its ``j``-th target and
+receives from the unique rank whose ``j``-th target is ``i`` — with the
+plain ring that is ``(i - j) % p``; with the node-aware permutation it
+is the algebraic inverse of
+:func:`repro.machine.topology.node_aware_permutation`.  "At each step,
+each process sends and receives one message of same size to and from
+different processes ... ensuring a constant, bi-directional traffic."
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import CommunicatorError
+from repro.machine.topology import Topology
+from repro.runtime.base import Comm
+
+__all__ = ["pairwise_alltoallv", "ring_peers"]
+
+_TAG = -201
+
+
+def ring_peers(rank: int, step: int, nranks: int, topo: Topology | None) -> tuple[int, int]:
+    """(destination, source) of ``rank`` at ``step`` of the ring.
+
+    With a topology, uses the node-aware permutation: the destination is
+    ``((node + step // g) % n) * g + (local + step) % g`` and the source
+    is its inverse; without one, the plain ``(rank ± step) % p`` ring.
+    """
+    if topo is None:
+        return (rank + step) % nranks, (rank - step) % nranks
+    g, n = topo.ranks_per_node, topo.nnodes
+    node, local = rank // g, rank % g
+    dest = ((node + step // g) % n) * g + (local + step) % g
+    src = ((node - step // g) % n) * g + (local - step) % g
+    return dest, src
+
+
+def pairwise_alltoallv(
+    comm: Comm,
+    send: Sequence[np.ndarray | None],
+    *,
+    topology: Topology | None = None,
+) -> list[np.ndarray]:
+    """Two-sided ring all-to-all: ``send[d]`` (bytes/any dtype) to rank ``d``.
+
+    Parameters
+    ----------
+    comm:
+        Runtime communicator.
+    send:
+        One array (or ``None`` ≡ empty) per destination rank.
+    topology:
+        When given, the node-aware permutation orders the ring so each
+        node pair saturates its NIC exclusively at every step.
+
+    Returns
+    -------
+    list[np.ndarray]
+        ``recv[s]`` = the chunk sent by rank ``s`` (uint8 when the
+        sender passed ``None``).
+    """
+    p = comm.size
+    if len(send) != p:
+        raise CommunicatorError(f"send list has {len(send)} entries for {p} ranks")
+    if topology is not None and topology.nranks != p:
+        raise CommunicatorError("topology size does not match communicator size")
+    empty = np.zeros(0, dtype=np.uint8)
+    recv: list[np.ndarray] = [empty] * p
+
+    # Step 0 is the local (self) exchange.
+    mine = send[comm.rank]
+    recv[comm.rank] = (empty if mine is None else np.ascontiguousarray(mine)).copy()
+
+    for step in range(1, p):
+        dest, src = ring_peers(comm.rank, step, p, topology)
+        chunk = send[dest]
+        out = empty if chunk is None else np.ascontiguousarray(chunk)
+        # isend-then-recv: eager buffered send cannot deadlock, and the
+        # pair (dest, src) differs per rank so messages pair up 1:1.
+        req = comm.isend(out, dest, tag=_TAG - step)
+        recv[src] = comm.recv(src, tag=_TAG - step)
+        req.wait()
+    return recv

@@ -1,0 +1,78 @@
+"""Byte-level framing of compressed messages for RMA transport.
+
+One-sided puts move raw bytes into a remote window, so a
+:class:`~repro.compression.base.CompressedMessage` must be flattened
+into a self-describing byte stream and re-inflated on the target.  The
+frame is::
+
+    [u64 meta_len][u64 payload_len][pickled metadata][payload bytes]
+
+Frames are self-delimiting (needed when several pipeline fragments land
+back-to-back in one window region).  The metadata pickle carries only
+small plain values (codec name, dtype, shape, scalar header entries) —
+never data — so its cost is a constant few hundred bytes per message and
+is excluded from the *modelled* wire size (``CompressedMessage.nbytes``),
+matching how a C implementation would pack a fixed small header.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+
+from repro.compression.base import CompressedMessage
+from repro.errors import CompressionError
+
+__all__ = ["encode_wire", "decode_wire", "frame_length", "wire_overhead"]
+
+_HDR_BYTES = 16
+
+
+def encode_wire(msg: CompressedMessage) -> np.ndarray:
+    """Flatten a compressed message into a contiguous uint8 frame."""
+    meta = pickle.dumps(
+        (msg.codec_name, msg.dtype_name, msg.shape, msg.header),
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+    lens = np.array([len(meta), msg.payload.size], dtype=np.uint64)
+    frame = np.empty(_HDR_BYTES + len(meta) + msg.payload.size, dtype=np.uint8)
+    frame[:_HDR_BYTES] = lens.view(np.uint8)
+    frame[_HDR_BYTES : _HDR_BYTES + len(meta)] = np.frombuffer(meta, dtype=np.uint8)
+    frame[_HDR_BYTES + len(meta) :] = msg.payload
+    return frame
+
+
+def _lens(frame: np.ndarray) -> tuple[int, int]:
+    if frame.size < _HDR_BYTES:
+        raise CompressionError("wire frame too short")
+    lens = np.frombuffer(frame[:_HDR_BYTES].tobytes(), dtype=np.uint64)
+    return int(lens[0]), int(lens[1])
+
+
+def frame_length(frame: np.ndarray) -> int:
+    """Total byte length of the frame starting at ``frame[0]``."""
+    meta_len, payload_len = _lens(np.ascontiguousarray(frame, dtype=np.uint8))
+    return _HDR_BYTES + meta_len + payload_len
+
+
+def decode_wire(frame: np.ndarray) -> CompressedMessage:
+    """Re-inflate the frame starting at ``frame[0]`` (extra bytes ignored)."""
+    frame = np.ascontiguousarray(frame, dtype=np.uint8)
+    meta_len, payload_len = _lens(frame)
+    if frame.size < _HDR_BYTES + meta_len + payload_len:
+        raise CompressionError("wire frame truncated")
+    codec_name, dtype_name, shape, header = pickle.loads(
+        frame[_HDR_BYTES : _HDR_BYTES + meta_len].tobytes()
+    )
+    payload = frame[_HDR_BYTES + meta_len : _HDR_BYTES + meta_len + payload_len].copy()
+    return CompressedMessage(codec_name, payload, dtype_name, tuple(shape), header)
+
+
+def wire_overhead(msg: CompressedMessage) -> int:
+    """Framing bytes added on top of the payload for this message."""
+    meta = pickle.dumps(
+        (msg.codec_name, msg.dtype_name, msg.shape, msg.header),
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+    return _HDR_BYTES + len(meta)

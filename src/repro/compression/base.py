@@ -1,0 +1,167 @@
+"""Codec interface and the wire format of compressed messages.
+
+Design constraints straight from Section V-B of the paper:
+
+* compression must **not** be in place (MPI send buffers are const), so
+  :meth:`Codec.compress` always allocates and returns a new buffer;
+* the compressed stream must be **contiguous bytes** (it plays the role
+  of MPI pack/unpack), so a message is a ``uint8`` payload plus the small
+  header needed to invert it;
+* for the performance pipeline the *size* of the compressed stream must
+  be predictable before compressing (fixed-rate codecs), which is what
+  :meth:`Codec.compressed_nbytes` exposes to the network model.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import CompressionError
+
+__all__ = ["CompressedMessage", "Codec", "IdentityCodec", "as_float64_stream"]
+
+
+def as_float64_stream(data: np.ndarray) -> tuple[np.ndarray, str, tuple[int, ...]]:
+    """Flatten float64/complex128 data to a contiguous float64 stream.
+
+    Returns ``(stream, dtype_name, shape)`` where ``stream`` is 1-D
+    float64.  Complex arrays are viewed as interleaved (re, im) pairs —
+    the natural memory layout that a GPU truncation kernel sees.
+    """
+    data = np.ascontiguousarray(data)
+    if data.dtype == np.float64:
+        return data.reshape(-1), "float64", data.shape
+    if data.dtype == np.complex128:
+        return data.reshape(-1).view(np.float64), "complex128", data.shape
+    raise CompressionError(f"codecs operate on float64/complex128 data, got {data.dtype}")
+
+
+def from_float64_stream(stream: np.ndarray, dtype_name: str, shape: tuple[int, ...]) -> np.ndarray:
+    """Inverse of :func:`as_float64_stream`."""
+    stream = np.ascontiguousarray(stream, dtype=np.float64)
+    if dtype_name == "float64":
+        return stream.reshape(shape)
+    if dtype_name == "complex128":
+        return stream.view(np.complex128).reshape(shape)
+    raise CompressionError(f"unknown original dtype {dtype_name!r}")
+
+
+@dataclass
+class CompressedMessage:
+    """A compressed buffer plus the header needed to decompress it.
+
+    Attributes
+    ----------
+    codec_name:
+        Name of the codec that produced the payload.
+    payload:
+        Contiguous ``uint8`` byte stream (what actually goes on the wire).
+    dtype_name / shape:
+        Original array dtype and shape, restored on decompression.
+    header:
+        Small per-codec side information (e.g. block exponents are stored
+        *inside* the payload; scalars like a global scale live here).
+        Header bytes are charged to :attr:`nbytes` for honest accounting.
+    """
+
+    codec_name: str
+    payload: np.ndarray
+    dtype_name: str
+    shape: tuple[int, ...]
+    header: dict[str, float | int | str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.payload.dtype != np.uint8:
+            raise CompressionError("payload must be a uint8 array")
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes on the wire: payload plus 8 bytes per header scalar."""
+        return int(self.payload.nbytes) + 8 * len(self.header)
+
+    @property
+    def n_values(self) -> int:
+        """Number of float64 scalars represented (2 per complex element)."""
+        n = int(np.prod(self.shape, dtype=np.int64)) if self.shape else 1
+        return 2 * n if self.dtype_name == "complex128" else n
+
+    @property
+    def achieved_rate(self) -> float:
+        """Realised compression rate = original bytes / wire bytes."""
+        orig = 8 * self.n_values
+        return orig / self.nbytes if self.nbytes else float("inf")
+
+
+class Codec(ABC):
+    """Abstract message compressor.
+
+    Subclasses must be stateless with respect to the data (safe to share
+    between ranks/threads) and must never mutate their input.
+    """
+
+    #: Identifier used in logs, plan dumps and message headers.
+    name: str = "abstract"
+
+    #: True when ``decompress(compress(x)) == x`` bit-for-bit.
+    lossless: bool = False
+
+    @abstractmethod
+    def compress(self, data: np.ndarray) -> CompressedMessage:
+        """Compress ``data`` (float64 or complex128) into a byte message."""
+
+    @abstractmethod
+    def decompress(self, msg: CompressedMessage) -> np.ndarray:
+        """Invert :meth:`compress`, restoring dtype and shape."""
+
+    # -- size model -----------------------------------------------------------
+
+    @property
+    def rate(self) -> float | None:
+        """Fixed compression rate when the codec has one, else ``None``.
+
+        The OSC pipeline (Section V) needs to size its receive staging
+        buffers *before* data arrives; that is only possible for
+        fixed-rate codecs — variable-rate codecs (lossless) force a
+        worst-case allocation, which we also model.
+        """
+        return None
+
+    def compressed_nbytes(self, n_float64: int) -> int:
+        """Predicted wire bytes for ``n_float64`` scalars (fixed-rate only)."""
+        r = self.rate
+        if r is None:
+            raise CompressionError(f"codec {self.name} has no fixed rate")
+        return int(np.ceil(8 * n_float64 / r))
+
+    def _check_roundtrip_args(self, msg: CompressedMessage) -> None:
+        if msg.codec_name != self.name:
+            raise CompressionError(
+                f"message was produced by {msg.codec_name!r}, not {self.name!r}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r}, rate={self.rate})"
+
+
+class IdentityCodec(Codec):
+    """No-op codec: raw FP64 bytes on the wire (the paper's baseline)."""
+
+    name = "identity"
+    lossless = True
+
+    @property
+    def rate(self) -> float:
+        return 1.0
+
+    def compress(self, data: np.ndarray) -> CompressedMessage:
+        stream, dtype_name, shape = as_float64_stream(data)
+        payload = stream.copy().view(np.uint8)
+        return CompressedMessage(self.name, payload, dtype_name, shape)
+
+    def decompress(self, msg: CompressedMessage) -> np.ndarray:
+        self._check_roundtrip_args(msg)
+        stream = msg.payload.view(np.float64)
+        return from_float64_stream(stream, msg.dtype_name, msg.shape)

@@ -1,0 +1,70 @@
+"""Measurement helpers: what did a codec do to my data?
+
+Used by tests, examples and the EXPERIMENTS.md generators to quantify
+both sides of the paper's trade-off: achieved compression rate (speed)
+and reconstruction error (accuracy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.compression.base import Codec
+
+__all__ = ["CompressionReport", "evaluate_codec", "rel_l2_error", "max_abs_error"]
+
+
+def rel_l2_error(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Relative 2-norm error ``||x - y|| / ||x||`` (0 when both are zero)."""
+    x = np.asarray(original).reshape(-1)
+    y = np.asarray(reconstructed).reshape(-1)
+    denom = np.linalg.norm(x)
+    if denom == 0.0:
+        return float(np.linalg.norm(y))
+    return float(np.linalg.norm(x - y) / denom)
+
+
+def max_abs_error(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Max pointwise absolute error (complex data: modulus of difference)."""
+    diff = np.asarray(original) - np.asarray(reconstructed)
+    return float(np.max(np.abs(diff))) if diff.size else 0.0
+
+
+@dataclass(frozen=True)
+class CompressionReport:
+    """One codec-on-one-array evaluation."""
+
+    codec_name: str
+    n_values: int
+    original_nbytes: int
+    compressed_nbytes: int
+    rel_l2: float
+    max_abs: float
+
+    @property
+    def rate(self) -> float:
+        """Achieved compression rate (original bytes / wire bytes)."""
+        return self.original_nbytes / self.compressed_nbytes
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.codec_name:<16} rate={self.rate:6.2f}x  "
+            f"rel_l2={self.rel_l2:9.2e}  max_abs={self.max_abs:9.2e}"
+        )
+
+
+def evaluate_codec(codec: Codec, data: np.ndarray) -> CompressionReport:
+    """Round-trip ``data`` through ``codec`` and report rate + error."""
+    data = np.asarray(data)
+    msg = codec.compress(data)
+    back = codec.decompress(msg)
+    return CompressionReport(
+        codec_name=codec.name,
+        n_values=msg.n_values,
+        original_nbytes=8 * msg.n_values,
+        compressed_nbytes=msg.nbytes,
+        rel_l2=rel_l2_error(data, back),
+        max_abs=max_abs_error(data, back),
+    )

@@ -1,0 +1,111 @@
+"""Tolerance-driven codec selection (Section III, Algorithm 1).
+
+The approximate FFT takes a user error tolerance ``e_tol`` and must pick
+a compression scheme whose communication error stays below it.  Because
+the FFT is (nearly) orthogonal — condition number one, Section III —
+"truncating the input will result in roughly the same error in the
+output", so we can select the number of retained mantissa bits directly
+from ``e_tol``:
+
+    per-value relative error of m retained bits  =  2**-(m+1)  <=  e_tol
+
+with a safety margin for the multiple reshapes (the FFT compresses on
+every one of its 4 exchanges, and errors add in quadrature at worst
+linearly in the reshape count).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.compression.base import Codec, IdentityCodec
+from repro.compression.mantissa import MantissaTrimCodec
+from repro.compression.truncation import CastCodec
+from repro.compression.zfp_like import ZfpLikeCodec
+from repro.errors import ToleranceError
+from repro.precision.formats import FP16, FP32
+
+__all__ = ["codec_for_tolerance", "tolerance_of_codec", "mantissa_bits_for_tolerance"]
+
+#: Error-budget safety factor for the FFT's multiple compressed reshapes.
+DEFAULT_RESHAPE_MARGIN = 4.0
+
+
+def mantissa_bits_for_tolerance(e_tol: float, *, margin: float = DEFAULT_RESHAPE_MARGIN) -> int:
+    """Fewest mantissa bits whose unit round-off stays below ``e_tol / margin``.
+
+    >>> mantissa_bits_for_tolerance(1e-8, margin=1.0)
+    26
+    """
+    if not e_tol > 0:
+        raise ToleranceError(f"e_tol must be positive, got {e_tol}")
+    target = e_tol / margin
+    # need 2**-(m+1) <= target  =>  m >= -log2(target) - 1
+    m = math.ceil(-math.log2(target) - 1.0)
+    return max(1, min(52, m))
+
+
+def codec_for_tolerance(
+    e_tol: float,
+    *,
+    data_hint: str = "random",
+    margin: float = DEFAULT_RESHAPE_MARGIN,
+    prefer_native_casts: bool = True,
+) -> Codec:
+    """Pick the cheapest codec that keeps per-message error below ``e_tol``.
+
+    Parameters
+    ----------
+    e_tol:
+        Requested *relative* error tolerance for the overall transform.
+    data_hint:
+        ``"random"`` (default) — no spatial correlation, use truncation
+        family, matching the paper's Section VI choice; ``"smooth"`` —
+        spatially correlated fields, use the ZFP-like fixed-accuracy
+        codec, which wins rate at equal error (Section IV-A).
+    margin:
+        Error-budget headroom for the multiple compressed reshapes.
+    prefer_native_casts:
+        Snap to hardware casts (FP32/FP16) when they meet the tolerance —
+        truncation "is highly efficient due to the hardware support".
+
+    Returns
+    -------
+    Codec
+        ``IdentityCodec`` when the tolerance demands full FP64.
+    """
+    if not e_tol > 0:
+        raise ToleranceError(f"e_tol must be positive, got {e_tol}")
+    if data_hint not in ("random", "smooth"):
+        raise ToleranceError(f"data_hint must be 'random' or 'smooth', got {data_hint!r}")
+
+    m = mantissa_bits_for_tolerance(e_tol, margin=margin)
+    if m > 44:  # packing cannot beat 8 bytes/value anyway: stay exact
+        return IdentityCodec()
+
+    if data_hint == "smooth":
+        return ZfpLikeCodec(tolerance=e_tol / margin)
+
+    if prefer_native_casts:
+        if m <= FP16.mantissa_bits:
+            return CastCodec(FP16, scaled=True)
+        if m <= FP32.mantissa_bits:
+            return CastCodec(FP32)
+    return MantissaTrimCodec(m)
+
+
+def tolerance_of_codec(codec: Codec, *, margin: float = DEFAULT_RESHAPE_MARGIN) -> float:
+    """Inverse map: the error tolerance a codec can honour (inf if lossless).
+
+    Used to report back the *guaranteed* accuracy of an approximate FFT
+    plan built from an explicit codec choice.
+    """
+    if codec.lossless:
+        return 0.0
+    if isinstance(codec, MantissaTrimCodec):
+        return margin * codec.max_relative_error
+    if isinstance(codec, CastCodec):
+        return margin * codec.fmt.unit_roundoff
+    if isinstance(codec, ZfpLikeCodec) and codec.tolerance is not None:
+        return margin * codec.tolerance
+    raise ToleranceError(f"cannot bound the error of codec {codec.name!r}")

@@ -1,0 +1,61 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every subsystem raises a subclass of :class:`ReproError` so downstream
+users can catch library failures with a single ``except`` clause while
+still being able to discriminate the failing subsystem.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "PrecisionError",
+    "CompressionError",
+    "ToleranceError",
+    "RuntimeAbort",
+    "CommunicatorError",
+    "WindowError",
+    "DecompositionError",
+    "PlanError",
+    "ModelError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class PrecisionError(ReproError):
+    """Invalid floating-point format description or conversion."""
+
+
+class CompressionError(ReproError):
+    """Codec misuse: bad rate, shape mismatch, corrupt stream."""
+
+
+class ToleranceError(ReproError):
+    """An error tolerance cannot be met or is ill-formed."""
+
+
+class RuntimeAbort(ReproError):
+    """A rank aborted inside an SPMD region (mirrors ``MPI_Abort``)."""
+
+
+class CommunicatorError(ReproError):
+    """Invalid communicator usage (bad rank, mismatched collective...)."""
+
+
+class WindowError(ReproError):
+    """Invalid one-sided (RMA) window usage."""
+
+
+class DecompositionError(ReproError):
+    """A domain cannot be decomposed over the requested process grid."""
+
+
+class PlanError(ReproError):
+    """An FFT/reshape plan cannot be constructed or executed."""
+
+
+class ModelError(ReproError):
+    """The performance model was queried with inconsistent parameters."""

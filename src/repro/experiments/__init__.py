@@ -1,0 +1,44 @@
+"""Experiment drivers: one module per table/figure of the paper.
+
+Each driver returns plain row objects (easy to test, print or diff
+against :mod:`~repro.experiments.paper_data`) and offers a
+``format_*`` helper rendering the same text block that EXPERIMENTS.md
+embeds.  Benchmarks under ``benchmarks/`` call these drivers.
+
+==============  ==========================================  =====================
+experiment      what it reproduces                          driver
+==============  ==========================================  =====================
+Table I         FP formats + GPU peaks                      :mod:`~repro.experiments.table1`
+Fig. 2          accuracy vs. retained mantissa bits         :mod:`~repro.experiments.fig2`
+Fig. 3          all-to-all node bandwidth vs. #GPUs         :mod:`~repro.experiments.fig3`
+Fig. 4          heFFTe 1024^3 strong scaling + speedups     :mod:`~repro.experiments.fig4`
+Table II        FFT accuracy: FP64 / FP32 / FP64->FP32      :mod:`~repro.experiments.table2`
+==============  ==========================================  =====================
+"""
+
+from repro.experiments.fig2 import Fig2Row, format_fig2, run_fig2
+from repro.experiments.fig3 import Fig3Row, format_fig3, run_fig3
+from repro.experiments.fig4 import Fig4Row, format_fig4, run_fig4
+from repro.experiments.table1 import format_table1_experiment, run_table1
+from repro.experiments.table2 import Table2Row, format_table2, run_table2
+from repro.experiments.weak import WeakRow, format_weak_scaling, run_weak_scaling
+
+__all__ = [
+    "run_table1",
+    "format_table1_experiment",
+    "run_fig2",
+    "format_fig2",
+    "Fig2Row",
+    "run_fig3",
+    "format_fig3",
+    "Fig3Row",
+    "run_fig4",
+    "format_fig4",
+    "Fig4Row",
+    "run_table2",
+    "format_table2",
+    "Table2Row",
+    "run_weak_scaling",
+    "format_weak_scaling",
+    "WeakRow",
+]

@@ -1,0 +1,58 @@
+"""Experiment: Fig. 2 — FFT accuracy vs. number of mantissa bits.
+
+Sweeps the communicated mantissa width from FP64's 52 bits down past
+FP32's 23, measuring the round-trip error of the (virtually)
+distributed FFT, and appends the two reference executions the figure
+shows: the proposed MP 64/32 (FP64 compute, FP32 wire) and the all-FP32
+run.  The expected shape: ~1e-16 at 52 bits, ~1e-8 at 23 bits, with the
+MP 64/32 point *below* the all-FP32 point — the paper's "order of
+magnitude better" claim (on our pocketfft substrate the gap is ~2-3x;
+see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.accuracy.analysis import MantissaSweepPoint, mantissa_sweep
+
+__all__ = ["Fig2Row", "run_fig2", "format_fig2"]
+
+
+@dataclass(frozen=True)
+class Fig2Row:
+    label: str
+    wire_bits: int
+    error: float
+    theoretical_acceleration: float
+
+
+def run_fig2(
+    *,
+    shape: tuple[int, int, int] = (32, 32, 32),
+    nranks: int = 12,
+    seed: int = 2022,
+    mantissa_bits: list[int] | None = None,
+) -> list[Fig2Row]:
+    """Run the sweep on uniform random data (the paper's workload)."""
+    rng = np.random.default_rng(seed)
+    x = rng.random(shape)
+    points: list[MantissaSweepPoint] = mantissa_sweep(
+        shape, nranks, x, mantissa_bits=mantissa_bits
+    )
+    return [
+        Fig2Row(p.label, p.total_bits, p.error, p.theoretical_acceleration)
+        for p in points
+    ]
+
+
+def format_fig2(rows: list[Fig2Row]) -> str:
+    header = f"{'point':>10} {'wire bits':>9} {'error':>12} {'theor. accel':>13}"
+    lines = [header, "-" * len(header)]
+    for r in rows:
+        lines.append(
+            f"{r.label:>10} {r.wire_bits:>9d} {r.error:>12.2e} {r.theoretical_acceleration:>12.2f}x"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,58 @@
+"""Experiment: Fig. 3 — all-to-all node bandwidth vs. GPU count.
+
+Fixed 80 KB per-pair messages, 24 to 1536 GPUs (4 to 256 Summit nodes),
+comparing the classical two-sided ``MPI_Alltoall`` with ``OSC_Alltoall``
+(Algorithm 3).  Performance comes from the calibrated cost model
+(:mod:`repro.netsim`); optionally the same exchanges are executed for
+real on the thread runtime at small rank counts to validate the data
+path (``validate_ranks``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.spec import SUMMIT, MachineSpec
+from repro.netsim.alltoall_model import classical_alltoall_cost, osc_alltoall_cost
+
+__all__ = ["Fig3Row", "run_fig3", "format_fig3", "DEFAULT_GPUS", "MSG_BYTES"]
+
+#: The paper's per-process message size.
+MSG_BYTES = 80_000
+DEFAULT_GPUS = [24, 48, 96, 192, 384, 768, 1536]
+
+
+@dataclass(frozen=True)
+class Fig3Row:
+    gpus: int
+    classical_gbs: float
+    osc_gbs: float
+
+    @property
+    def ratio(self) -> float:
+        return self.osc_gbs / self.classical_gbs
+
+
+def run_fig3(
+    *,
+    machine: MachineSpec = SUMMIT,
+    gpu_counts: list[int] | None = None,
+    msg_bytes: int = MSG_BYTES,
+) -> list[Fig3Row]:
+    """Bandwidth of both all-to-all implementations over the GPU sweep."""
+    rows = []
+    for p in gpu_counts or DEFAULT_GPUS:
+        c = classical_alltoall_cost(machine, p, msg_bytes)
+        o = osc_alltoall_cost(machine, p, msg_bytes)
+        rows.append(Fig3Row(p, c.node_bandwidth_gbs, o.node_bandwidth_gbs))
+    return rows
+
+
+def format_fig3(rows: list[Fig3Row]) -> str:
+    header = f"{'GPUs':>6} {'MPI_Alltoall':>13} {'OSC_Alltoall':>13} {'ratio':>6}"
+    lines = [header, "-" * len(header)]
+    for r in rows:
+        lines.append(
+            f"{r.gpus:>6d} {r.classical_gbs:>11.2f} GB/s {r.osc_gbs:>9.2f} GB/s {r.ratio:>5.2f}x"
+        )
+    return "\n".join(lines)

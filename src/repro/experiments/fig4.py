@@ -1,0 +1,64 @@
+"""Experiment: Fig. 4 — strong scaling of the 3-D FFT at 1024^3.
+
+Four curves (FP64, FP32, FP64->FP32, FP64->FP16) over 12..1536 GPUs;
+the left panel reports Gflop/s (nominal ``5 N^3 log2 N^3`` flops over
+modelled time), the right panel the speedup against FP64.  The paper's
+stated checkpoints: FP32 ~2x, FP64->FP32 above FP32 and up to ~2.5x,
+FP64->FP16 above 4x up to 384 GPUs then tapering as latency dominates,
+and ~14 Tflop/s at 1536 GPUs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.spec import SUMMIT, MachineSpec
+from repro.netsim.fft_model import STANDARD_SCENARIOS, fft3d_cost
+
+__all__ = ["Fig4Row", "run_fig4", "format_fig4", "DEFAULT_GPUS", "PROBLEM_N"]
+
+#: The paper's strong-scaling problem size.
+PROBLEM_N = 1024
+DEFAULT_GPUS = [12, 24, 48, 96, 192, 384, 768, 1536]
+_CURVES = ["FP64", "FP32", "FP64->FP32", "FP64->FP16"]
+
+
+@dataclass(frozen=True)
+class Fig4Row:
+    gpus: int
+    tflops: dict[str, float]  # curve -> Tflop/s
+    speedup: dict[str, float]  # curve -> time(FP64)/time(curve)
+    comm_fraction: dict[str, float]
+
+
+def run_fig4(
+    *,
+    machine: MachineSpec = SUMMIT,
+    gpu_counts: list[int] | None = None,
+    n: int = PROBLEM_N,
+) -> list[Fig4Row]:
+    """Model all four curves over the GPU sweep."""
+    rows: list[Fig4Row] = []
+    for p in gpu_counts or DEFAULT_GPUS:
+        costs = {c: fft3d_cost(machine, p, n, STANDARD_SCENARIOS[c]) for c in _CURVES}
+        base = costs["FP64"].total_s
+        rows.append(
+            Fig4Row(
+                p,
+                {c: costs[c].gflops / 1000.0 for c in _CURVES},
+                {c: base / costs[c].total_s for c in _CURVES},
+                {c: costs[c].comm_fraction for c in _CURVES},
+            )
+        )
+    return rows
+
+
+def format_fig4(rows: list[Fig4Row]) -> str:
+    header = f"{'GPUs':>6}" + "".join(f" {c:>18}" for c in _CURVES)
+    lines = [header + "   (Tflop/s / speedup)", "-" * (len(header) + 22)]
+    for r in rows:
+        cells = "".join(
+            f" {r.tflops[c]:>10.2f}T /{r.speedup[c]:>5.2f}x" for c in _CURVES
+        )
+        lines.append(f"{r.gpus:>6d}{cells}")
+    return "\n".join(lines)

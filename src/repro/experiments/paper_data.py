@@ -1,0 +1,51 @@
+"""The paper's reported numbers, used for paper-vs-measured comparisons.
+
+Only values stated in the text or exactly tabulated are recorded as
+numbers; figure-read values carry a ``~`` tolerance and are encoded as
+(target, rel_tolerance) pairs for soft assertions in tests.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "PAPER_TABLE2",
+    "FIG3_LANDMARKS",
+    "FIG4_LANDMARKS",
+    "GPU_COUNTS",
+]
+
+#: GPU counts used across Section VI (6 GPUs per Summit node).
+GPU_COUNTS = [12, 24, 48, 96, 192, 384, 768, 1536]
+
+#: Table II verbatim: accuracy of the FFT round trip per #GPU.
+PAPER_TABLE2: dict[int, dict[str, float]] = {
+    12: {"FP64": 6.00e-15, "FP32": 4.96e-06, "FP64->FP32": 1.94e-07},
+    24: {"FP64": 6.17e-15, "FP32": 4.91e-06, "FP64->FP32": 2.20e-07},
+    48: {"FP64": 5.92e-15, "FP32": 4.49e-06, "FP64->FP32": 3.01e-07},
+    96: {"FP64": 6.00e-15, "FP32": 3.47e-06, "FP64->FP32": 3.90e-07},
+    192: {"FP64": 5.11e-15, "FP32": 3.54e-06, "FP64->FP32": 3.99e-07},
+    384: {"FP64": 5.25e-15, "FP32": 4.44e-06, "FP64->FP32": 5.09e-07},
+    768: {"FP64": 5.29e-15, "FP32": 3.13e-06, "FP64->FP32": 5.44e-07},
+    1536: {"FP64": 5.38e-15, "FP32": 3.06e-06, "FP64->FP32": 5.57e-07},
+}
+
+#: Fig. 3 landmarks (GB/s per node, 80 KB per-pair messages).
+#: value, relative tolerance for soft checks.
+FIG3_LANDMARKS: dict[str, tuple[float, float]] = {
+    "classical@1536": (5.0, 0.35),  # "decreases rapidly to reach around 5GB/s"
+    "osc@1536": (10.0, 0.35),  # "twice the bandwidth compared with the reference"
+    "classical@24": (14.0, 0.45),  # "for a small number of GPUs ... similar"
+    "osc@24": (14.0, 0.45),
+}
+
+#: Fig. 4 landmarks (1024^3 strong scaling).
+FIG4_LANDMARKS: dict[str, tuple[float, float]] = {
+    # "heFFTe is able to reach 14 Tflops/s on 1536 GPUs" (FP64->FP16)
+    "fp16_tflops@1536": (14.0, 0.25),
+    # "reaching up to 2.5x speedup compared to FP64" (FP64->FP32 with OSC)
+    "fp32comp_speedup@1536": (2.5, 0.35),
+    # FP32 reference: "a performance around 2x better"
+    "fp32_speedup@192": (2.0, 0.25),
+    # "we exceed a 4x speedup up to 384 GPUs" (FP64->FP16)
+    "fp16_speedup@384_min": (4.0, 0.0),  # lower bound
+}

@@ -1,0 +1,106 @@
+"""Paper-vs-measured comparison report (the EXPERIMENTS.md backbone).
+
+Runs every driver, scores each landmark against the paper's stated
+value, and renders a one-page verdict.  Used by ``python -m repro``
+consumers and by the test suite to keep the reproduction honest: a
+model change that silently drifts off a landmark fails a test here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.fig4 import run_fig4
+from repro.experiments.paper_data import FIG3_LANDMARKS, FIG4_LANDMARKS
+from repro.experiments.table2 import run_table2
+
+__all__ = ["LandmarkCheck", "check_landmarks", "format_report"]
+
+
+@dataclass(frozen=True)
+class LandmarkCheck:
+    """One paper-stated number vs what this repository produces."""
+
+    name: str
+    paper_value: float
+    measured: float
+    rel_tolerance: float
+    is_lower_bound: bool = False
+
+    @property
+    def passed(self) -> bool:
+        if self.is_lower_bound:
+            return self.measured > self.paper_value
+        return abs(self.measured - self.paper_value) <= self.rel_tolerance * self.paper_value
+
+    @property
+    def deviation(self) -> float:
+        return (self.measured - self.paper_value) / self.paper_value
+
+
+def check_landmarks(*, table2_n: int = 32) -> list[LandmarkCheck]:
+    """Evaluate every quantitative landmark of Sections VI-A/B."""
+    checks: list[LandmarkCheck] = []
+
+    fig3 = {r.gpus: r for r in run_fig3()}
+    t, tol = FIG3_LANDMARKS["classical@1536"]
+    checks.append(LandmarkCheck("Fig3 classical @1536 (GB/s)", t, fig3[1536].classical_gbs, tol))
+    t, tol = FIG3_LANDMARKS["osc@1536"]
+    checks.append(LandmarkCheck("Fig3 OSC @1536 (GB/s)", t, fig3[1536].osc_gbs, tol))
+    t, tol = FIG3_LANDMARKS["classical@24"]
+    checks.append(LandmarkCheck("Fig3 classical @24 (GB/s)", t, fig3[24].classical_gbs, tol))
+
+    fig4 = {r.gpus: r for r in run_fig4()}
+    t, tol = FIG4_LANDMARKS["fp16_tflops@1536"]
+    checks.append(
+        LandmarkCheck("Fig4 FP64->FP16 @1536 (Tflop/s)", t, fig4[1536].tflops["FP64->FP16"], tol)
+    )
+    t, tol = FIG4_LANDMARKS["fp32comp_speedup@1536"]
+    checks.append(
+        LandmarkCheck("Fig4 FP64->FP32 speedup @1536", t, fig4[1536].speedup["FP64->FP32"], tol)
+    )
+    t, tol = FIG4_LANDMARKS["fp32_speedup@192"]
+    checks.append(LandmarkCheck("Fig4 FP32 speedup @192", t, fig4[192].speedup["FP32"], tol))
+    t, _ = FIG4_LANDMARKS["fp16_speedup@384_min"]
+    checks.append(
+        LandmarkCheck(
+            "Fig4 FP64->FP16 speedup @384 (>4x)",
+            t,
+            fig4[384].speedup["FP64->FP16"],
+            0.0,
+            is_lower_bound=True,
+        )
+    )
+
+    # Table II invariant: the mixed run beats all-FP32 at every scale.
+    table2 = run_table2(n=table2_n, gpu_counts=[12, 48])
+    for row in table2:
+        checks.append(
+            LandmarkCheck(
+                f"TableII gain @{row.gpus} (cast beats FP32, >1x)",
+                1.0,
+                row.improvement,
+                0.0,
+                is_lower_bound=True,
+            )
+        )
+    return checks
+
+
+def format_report(checks: list[LandmarkCheck]) -> str:
+    """Render the verdict table."""
+    width = max(len(c.name) for c in checks)
+    lines = [
+        f"{'landmark':<{width}} {'paper':>9} {'measured':>9} {'dev':>7}  verdict",
+        "-" * (width + 40),
+    ]
+    for c in checks:
+        verdict = "PASS" if c.passed else "MISS"
+        lines.append(
+            f"{c.name:<{width}} {c.paper_value:>9.2f} {c.measured:>9.2f} "
+            f"{100 * c.deviation:>+6.1f}%  {verdict}"
+        )
+    passed = sum(c.passed for c in checks)
+    lines.append(f"\n{passed}/{len(checks)} landmarks reproduced")
+    return "\n".join(lines)

@@ -1,0 +1,22 @@
+"""Experiment: regenerate paper Table I.
+
+All format-derived columns are *computed* from the bit layouts (a real
+check that our :class:`~repro.precision.formats.FloatFormat` algebra
+matches IEEE); peaks are datasheet constants.
+"""
+
+from __future__ import annotations
+
+from repro.precision.table import TableIRow, format_table1, table1_rows
+
+__all__ = ["run_table1", "format_table1_experiment"]
+
+
+def run_table1() -> list[TableIRow]:
+    """Rows of Table I (computed, not transcribed)."""
+    return table1_rows()
+
+
+def format_table1_experiment() -> str:
+    """The full Table I text block."""
+    return format_table1()

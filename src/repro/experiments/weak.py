@@ -1,0 +1,70 @@
+"""Weak-scaling study (extension: the paper only shows strong scaling).
+
+Strong scaling (Fig. 4) fixes 1024^3 and grows the machine; weak
+scaling fixes the per-GPU load (here ``512^3`` cells per 48 GPUs, i.e.
+constant N^3/p) and grows both.  The all-to-all's per-pair message size
+then shrinks as ``1/p`` even though the local volume is constant, so
+compression's break-even creeps up on the transform from below — the
+same latency story as Fig. 4's right panel, in the axis HPC centres
+actually provision by.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.spec import SUMMIT, MachineSpec
+from repro.netsim.fft_model import STANDARD_SCENARIOS, fft3d_cost
+
+__all__ = ["WeakRow", "run_weak_scaling", "format_weak_scaling"]
+
+_CURVES = ["FP64", "FP64->FP32", "FP64->FP16"]
+
+
+@dataclass(frozen=True)
+class WeakRow:
+    gpus: int
+    n: int  # per-dimension grid size at this scale
+    tflops: dict[str, float]
+    efficiency: dict[str, float]  # vs perfect weak scaling from the first point
+
+
+def run_weak_scaling(
+    *,
+    machine: MachineSpec = SUMMIT,
+    base_gpus: int = 48,
+    base_n: int = 512,
+    doublings: int = 5,
+) -> list[WeakRow]:
+    """Grow GPUs x8 per grid doubling (constant cells per GPU)."""
+    points: list[tuple[int, int]] = []
+    gpus, n = base_gpus, base_n
+    for _ in range(doublings):
+        points.append((gpus, n))
+        gpus, n = gpus * 8, n * 2
+        if gpus > machine.max_nodes * machine.gpus_per_node:
+            break
+
+    rows: list[WeakRow] = []
+    base_rate: dict[str, float] = {}
+    for gpus, n in points:
+        tflops = {
+            c: fft3d_cost(machine, gpus, n, STANDARD_SCENARIOS[c]).gflops / 1000.0
+            for c in _CURVES
+        }
+        if not rows:
+            base_rate = {c: tflops[c] / gpus for c in _CURVES}
+        eff = {c: tflops[c] / (gpus * base_rate[c]) for c in _CURVES}
+        rows.append(WeakRow(gpus, n, tflops, eff))
+    return rows
+
+
+def format_weak_scaling(rows: list[WeakRow]) -> str:
+    header = f"{'GPUs':>7} {'N':>6}" + "".join(f" {c:>20}" for c in _CURVES)
+    lines = [header + "   (Tflop/s / weak eff.)", "-" * (len(header) + 26)]
+    for r in rows:
+        cells = "".join(
+            f" {r.tflops[c]:>11.2f}T /{100 * r.efficiency[c]:>5.1f}%" for c in _CURVES
+        )
+        lines.append(f"{r.gpus:>7d} {r.n:>6d}{cells}")
+    return "\n".join(lines)

@@ -1,0 +1,281 @@
+"""The user-facing approximate 3-D FFT (Algorithm 1).
+
+:class:`Fft3d` assembles the full heFFTe pipeline of Fig. 1 — bricks →
+x-pencils → y-pencils → z-pencils → bricks, four reshapes and three
+batched 1-D FFT phases — with optional lossy compression inside every
+reshape, controlled either by an explicit codec or by an error
+tolerance ``e_tol`` (Section III).
+
+Two execution styles:
+
+* **virtual** (default): all rank-local blocks live in one process;
+  :meth:`Fft3d.forward` / :meth:`Fft3d.backward` take and return the
+  *global* array (scatter/gather included) and move every byte through
+  the same pack→compress→exchange→decompress→unpack path the SPMD code
+  uses.  This is how the paper-scale accuracy experiments (Table II,
+  1536 ranks) run.
+* **SPMD**: :meth:`Fft3d.forward_spmd` executes one rank's part on a
+  real communicator (thread runtime), exercising the OSC window
+  machinery end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.collectives.compressed import CompressedOscAlltoallv
+from repro.compression.base import Codec
+from repro.compression.selection import codec_for_tolerance, tolerance_of_codec
+from repro.errors import PlanError
+from repro.fft.decomposition import (
+    CartesianDecomp,
+    brick_decomposition,
+    pencil_decomposition,
+)
+from repro.fft.local_fft import batched_fft, batched_ifft, complex_dtype
+from repro.fft.reshape import ReshapePlan, ReshapeStats
+from repro.machine.topology import Topology
+from repro.runtime.base import Comm
+from repro.runtime.virtual import VirtualWorld
+
+__all__ = ["Fft3d", "FftStats"]
+
+
+@dataclass
+class FftStats:
+    """Aggregated communication accounting of one transform."""
+
+    reshapes: list[ReshapeStats] = field(default_factory=list)
+
+    @property
+    def logical_bytes(self) -> int:
+        return sum(r.logical_bytes for r in self.reshapes)
+
+    @property
+    def wire_bytes(self) -> int:
+        return sum(r.wire_bytes for r in self.reshapes)
+
+    @property
+    def achieved_rate(self) -> float:
+        return self.logical_bytes / self.wire_bytes if self.wire_bytes else 1.0
+
+
+class Fft3d:
+    """Distributed (or virtually distributed) approximate 3-D FFT plan.
+
+    Parameters
+    ----------
+    shape:
+        Global grid shape ``(n0, n1, n2)``.
+    nranks:
+        Number of (virtual) MPI ranks.
+    precision:
+        Working precision of the local FFTs: ``"fp64"`` (reference) or
+        ``"fp32"`` (the all-FP32 comparison run).
+    codec:
+        Compressor applied to every reshape message (Algorithm 1).
+        Mutually exclusive with ``e_tol``.  ``None`` = exact exchange.
+    e_tol:
+        Error tolerance; picks the cheapest codec meeting it via
+        :func:`repro.compression.selection.codec_for_tolerance`.
+    data_hint:
+        ``"random"`` or ``"smooth"`` — steers codec selection.
+    topology:
+        Optional machine topology (used for traffic classification and
+        the node-aware ring in SPMD mode).
+    """
+
+    def __init__(
+        self,
+        shape: tuple[int, int, int],
+        nranks: int,
+        *,
+        precision: str = "fp64",
+        codec: Codec | None = None,
+        e_tol: float | None = None,
+        data_hint: str = "random",
+        topology: Topology | None = None,
+        codec_schedule=None,
+    ) -> None:
+        if len(shape) != 3 or any(n < 2 for n in shape):
+            raise PlanError(f"shape must be 3 dims >= 2, got {shape}")
+        if sum(x is not None for x in (codec, e_tol, codec_schedule)) > 1:
+            raise PlanError("pass at most one of codec=, e_tol=, codec_schedule=")
+        if e_tol is not None:
+            codec = codec_for_tolerance(e_tol, data_hint=data_hint)
+        if codec_schedule is not None and len(codec_schedule) != 4:
+            raise PlanError("codec_schedule needs exactly 4 stages (one per reshape)")
+        self.shape = tuple(shape)
+        self.nranks = int(nranks)
+        self.precision = precision.lower()
+        self.dtype = complex_dtype(self.precision)
+        if (codec is not None or codec_schedule is not None) and self.precision != "fp64":
+            raise PlanError("compressed reshapes require fp64 working precision")
+        self.codec = codec
+        self.codec_schedule = codec_schedule
+        self.e_tol = e_tol
+        self.topology = topology
+
+        # Layout pipeline of Fig. 1: bricks -> x -> y -> z -> bricks.
+        self.bricks: CartesianDecomp = brick_decomposition(self.shape, nranks)
+        self.pencils: list[CartesianDecomp] = [
+            pencil_decomposition(self.shape, nranks, axis) for axis in range(3)
+        ]
+        layouts = [self.bricks, *self.pencils, self.bricks]
+        self.reshapes: list[ReshapePlan] = [
+            ReshapePlan(a, b) for a, b in zip(layouts, layouts[1:])
+        ]
+        self.last_stats = FftStats()
+
+    # -- reporting ----------------------------------------------------------------
+
+    @property
+    def guaranteed_tolerance(self) -> float:
+        """Error bound honoured by the configured codec (0 = exact)."""
+        if self.codec is None:
+            return 0.0
+        return tolerance_of_codec(self.codec)
+
+    def describe(self) -> str:
+        """One-paragraph plan summary (layouts, codec, message counts)."""
+        lines = [
+            f"Fft3d {self.shape} on {self.nranks} ranks, precision={self.precision}",
+            f"  codec: {self.codec.name if self.codec else 'none (exact)'}",
+            f"  bricks grid: {self.bricks.grid}",
+        ]
+        for i, (pencil, plan) in enumerate(zip(self.pencils, self.reshapes)):
+            lines.append(
+                f"  reshape {i}: -> pencil axis {i} grid {pencil.grid}, "
+                f"{plan.n_messages} messages"
+            )
+        lines.append(f"  reshape 3: -> bricks, {self.reshapes[3].n_messages} messages")
+        return "\n".join(lines)
+
+    # -- scatter / gather -----------------------------------------------------------
+
+    def scatter(self, x: np.ndarray) -> list[np.ndarray]:
+        """Split a global array into per-rank brick blocks.
+
+        ``x`` may carry leading batch dimensions (``(..., n0, n1, n2)``)
+        — all batch entries of a cell travel together, heFFTe-style.
+        """
+        x = np.asarray(x)
+        if x.shape[-3:] != self.shape:
+            raise PlanError(f"array shape {x.shape} != plan shape {self.shape}")
+        full = Box3d_full(self.shape)
+        out = []
+        for r in range(self.nranks):
+            sl = self.bricks.box_of(r).slices_within(full)
+            out.append(np.ascontiguousarray(x[..., sl[0], sl[1], sl[2]], dtype=self.dtype))
+        return out
+
+    def gather(self, locals_: list[np.ndarray]) -> np.ndarray:
+        """Assemble per-rank brick blocks back into a global array."""
+        batch = locals_[0].shape[:-3]
+        out = np.empty(batch + self.shape, dtype=locals_[0].dtype)
+        full = Box3d_full(self.shape)
+        for r in range(self.nranks):
+            sl = self.bricks.box_of(r).slices_within(full)
+            out[..., sl[0], sl[1], sl[2]] = locals_[r]
+        return out
+
+    # -- virtual execution -------------------------------------------------------------
+
+    def _stage_codec(self, stage: int) -> Codec | None:
+        if self.codec_schedule is not None:
+            return self.codec_schedule.codec_for_stage(stage)
+        return self.codec
+
+    def _run_virtual(
+        self, x: np.ndarray, *, inverse: bool, world: VirtualWorld | None
+    ) -> np.ndarray:
+        world = world or VirtualWorld(self.nranks, topology=self.topology)
+        stats = FftStats()
+        locals_ = self.scatter(np.asarray(x, dtype=self.dtype))
+        transform = batched_ifft if inverse else batched_fft
+        for axis in range(3):
+            rstats = ReshapeStats()
+            locals_ = self.reshapes[axis].run_virtual(
+                world, locals_, codec=self._stage_codec(axis), stats=rstats
+            )
+            stats.reshapes.append(rstats)
+            # negative axis: transparent to leading batch dimensions
+            locals_ = [transform(b, axis - 3, self.precision) for b in locals_]
+        rstats = ReshapeStats()
+        locals_ = self.reshapes[3].run_virtual(
+            world, locals_, codec=self._stage_codec(3), stats=rstats
+        )
+        stats.reshapes.append(rstats)
+        self.last_stats = stats
+        return self.gather(locals_)
+
+    def forward(self, x: np.ndarray, *, world: VirtualWorld | None = None) -> np.ndarray:
+        """Approximate forward 3-D FFT of the global array ``x``."""
+        return self._run_virtual(x, inverse=False, world=world)
+
+    def backward(self, x: np.ndarray, *, world: VirtualWorld | None = None) -> np.ndarray:
+        """Approximate inverse 3-D FFT (``1/N^3`` normalised)."""
+        return self._run_virtual(x, inverse=True, world=world)
+
+    def roundtrip_error(self, x: np.ndarray) -> float:
+        """Paper's accuracy metric: ``||x - IFFT(FFT(x))|| / ||x||``."""
+        x = np.asarray(x)
+        back = self.backward(self.forward(x))
+        return float(np.linalg.norm((x - back).reshape(-1)) / np.linalg.norm(x.reshape(-1)))
+
+    # -- SPMD execution ------------------------------------------------------------------
+
+    def forward_spmd(
+        self,
+        comm: Comm,
+        local: np.ndarray,
+        *,
+        method: str = "osc",
+        inverse: bool = False,
+    ) -> np.ndarray:
+        """Run this rank's part of the transform on a real communicator.
+
+        ``local`` is the rank's brick block (see :meth:`scatter`); the
+        return value is the rank's brick block of the transform.  With a
+        codec configured, every reshape goes through the compressed OSC
+        all-to-all with a cached window per reshape plan.
+        """
+        if comm.size != self.nranks:
+            raise PlanError("communicator size does not match plan")
+        transform = batched_ifft if inverse else batched_fft
+        stats = FftStats()
+        block = np.ascontiguousarray(local, dtype=self.dtype)
+        for step, plan in enumerate(self.reshapes):
+            rstats = ReshapeStats()
+            alltoall = None
+            stage_codec = self._stage_codec(step)
+            if stage_codec is not None:
+                alltoall = CompressedOscAlltoallv(
+                    comm, stage_codec, topology=self.topology
+                )
+            try:
+                block = plan.run_spmd(
+                    comm,
+                    block,
+                    method=method,
+                    topology=self.topology,
+                    alltoall=alltoall,
+                    stats=rstats,
+                )
+            finally:
+                if alltoall is not None:
+                    alltoall.free()
+            stats.reshapes.append(rstats)
+            if step < 3:
+                block = transform(block, step - 3, self.precision)
+        self.last_stats = stats
+        return block
+
+
+def Box3d_full(shape: tuple[int, int, int]):
+    """The box covering the whole grid (helper for scatter/gather)."""
+    from repro.fft.box import Box3d
+
+    return Box3d((0, 0, 0), tuple(shape))  # type: ignore[arg-type]

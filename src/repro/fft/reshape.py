@@ -1,0 +1,225 @@
+"""Reshape plans: the all-to-all data redistributions between FFT phases.
+
+A reshape moves the grid from one :class:`~repro.fft.decomposition.CartesianDecomp`
+to another.  Because both layouts are Cartesian, the data rank ``s``
+owes rank ``d`` is a single box — ``inbox(s) ∩ outbox(d)`` — which is
+*packed* into a contiguous buffer, exchanged (optionally compressed:
+Algorithm 1 line 2), and *unpacked* on the receiver.  The compression
+"plays a similar role as packing and unpacking operation in MPI"
+(Section V-B): the wire always carries contiguous bytes.
+
+Two executors share the same plan:
+
+* :meth:`ReshapePlan.run_virtual` — functional execution on a
+  :class:`~repro.runtime.virtual.VirtualWorld` (scales to 1536 ranks);
+* :meth:`ReshapePlan.run_spmd` — per-rank SPMD execution on a real
+  communicator, through any of the all-to-all algorithms of
+  :mod:`repro.collectives`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.collectives.compressed import CompressedOscAlltoallv
+from repro.collectives.osc import osc_alltoallv
+from repro.collectives.pairwise import pairwise_alltoallv
+from repro.compression.base import Codec
+from repro.errors import PlanError
+from repro.fft.box import Box3d
+from repro.fft.decomposition import CartesianDecomp
+from repro.machine.topology import Topology
+from repro.runtime.base import Comm
+from repro.runtime.virtual import VirtualWorld
+
+__all__ = ["ReshapePlan", "ReshapeStats"]
+
+
+@dataclass
+class ReshapeStats:
+    """Volume accounting of one reshape execution."""
+
+    messages: int = 0
+    logical_bytes: int = 0  # uncompressed payload volume
+    wire_bytes: int = 0  # after compression
+
+    @property
+    def achieved_rate(self) -> float:
+        return self.logical_bytes / self.wire_bytes if self.wire_bytes else 1.0
+
+
+class ReshapePlan:
+    """Precomputed exchange pattern between two Cartesian layouts."""
+
+    def __init__(self, src: CartesianDecomp, dst: CartesianDecomp) -> None:
+        if src.shape != dst.shape:
+            raise PlanError(f"layout shapes differ: {src.shape} vs {dst.shape}")
+        if src.nranks != dst.nranks:
+            raise PlanError(f"rank counts differ: {src.nranks} vs {dst.nranks}")
+        self.src = src
+        self.dst = dst
+        self.nranks = src.nranks
+        # pairs[s] = list of (d, overlap_box); built via grid search, so
+        # plan construction is O(messages), not O(p^2).
+        self.pairs: list[list[tuple[int, Box3d]]] = []
+        self.incoming: list[list[tuple[int, Box3d]]] = [[] for _ in range(self.nranks)]
+        for s in range(self.nranks):
+            sbox = src.box_of(s)
+            row: list[tuple[int, Box3d]] = []
+            for d in dst.overlapping_ranks(sbox):
+                overlap = sbox.intersect(dst.box_of(d))
+                if not overlap.empty:
+                    row.append((d, overlap))
+                    self.incoming[d].append((s, overlap))
+            self.pairs.append(row)
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def n_messages(self) -> int:
+        """Total (src, dst) pairs, self-messages included."""
+        return sum(len(row) for row in self.pairs)
+
+    def total_bytes(self, itemsize: int = 16) -> int:
+        """Logical bytes moved (= grid size x itemsize: every cell moves once)."""
+        return sum(b.size for row in self.pairs for _, b in row) * itemsize
+
+    # -- pack / unpack -------------------------------------------------------------
+
+    def pack(self, rank: int, local: np.ndarray, dest: int, box: Box3d) -> np.ndarray:
+        """Extract the contiguous chunk rank ``rank`` owes ``dest``.
+
+        ``local`` is the rank's block, optionally with a leading batch
+        dimension (batched transforms ship all batch entries of a cell
+        in one message — heFFTe's batching).
+        """
+        sbox = self.src.box_of(rank)
+        if local.shape[-3:] != sbox.shape:
+            raise PlanError(
+                f"rank {rank}: local array shape {local.shape} != inbox {sbox.shape}"
+            )
+        sl = box.slices_within(sbox)
+        return np.ascontiguousarray(local[..., sl[0], sl[1], sl[2]]).reshape(-1)
+
+    def unpack(
+        self, rank: int, out: np.ndarray, source: int, box: Box3d, chunk: np.ndarray
+    ) -> None:
+        """Insert the chunk received from ``source`` into ``out``."""
+        dbox = self.dst.box_of(rank)
+        sl = box.slices_within(dbox)
+        view = out[..., sl[0], sl[1], sl[2]]
+        out[..., sl[0], sl[1], sl[2]] = chunk.reshape(view.shape)
+
+    def _alloc_out(
+        self, rank: int, dtype: np.dtype, batch: tuple[int, ...] = ()
+    ) -> np.ndarray:
+        return np.empty(batch + self.dst.box_of(rank).shape, dtype=dtype)
+
+    # -- virtual (functional) execution ----------------------------------------------
+
+    def run_virtual(
+        self,
+        world: VirtualWorld,
+        locals_: Sequence[np.ndarray],
+        *,
+        codec: Codec | None = None,
+        stats: ReshapeStats | None = None,
+    ) -> list[np.ndarray]:
+        """Execute the reshape over all ranks' local arrays at once.
+
+        Each message is packed, (optionally) compressed, logged to the
+        world's traffic accounting at its *wire* size, decompressed and
+        unpacked — the same byte stream the SPMD path produces.
+        """
+        if world.nranks != self.nranks:
+            raise PlanError("world size does not match plan")
+        if len(locals_) != self.nranks:
+            raise PlanError("need one local array per rank")
+        dtype = locals_[0].dtype
+        batch = locals_[0].shape[:-3]
+        out = [self._alloc_out(r, dtype, batch) for r in range(self.nranks)]
+        for s in range(self.nranks):
+            for d, box in self.pairs[s]:
+                chunk = self.pack(s, locals_[s], d, box)
+                if codec is None:
+                    world.traffic.record(s, d, chunk.nbytes)
+                    received = chunk
+                    wire = chunk.nbytes
+                else:
+                    msg = codec.compress(chunk)
+                    world.traffic.record(s, d, msg.nbytes)
+                    received = codec.decompress(msg)
+                    wire = msg.nbytes
+                if stats is not None:
+                    stats.messages += 1
+                    stats.logical_bytes += chunk.nbytes
+                    stats.wire_bytes += wire
+                self.unpack(d, out[d], s, box, received)
+        return out
+
+    # -- SPMD execution ------------------------------------------------------------------
+
+    def run_spmd(
+        self,
+        comm: Comm,
+        local: np.ndarray,
+        *,
+        codec: Codec | None = None,
+        method: str = "reference",
+        topology: Topology | None = None,
+        alltoall: CompressedOscAlltoallv | None = None,
+        stats: ReshapeStats | None = None,
+    ) -> np.ndarray:
+        """Execute this rank's part of the reshape on a communicator.
+
+        ``method`` selects the exchange algorithm: ``"reference"`` (the
+        linear alltoallv), ``"pairwise"`` (two-sided ring), ``"osc"``
+        (Algorithm 3) — or pass a prebuilt ``alltoall``
+        (:class:`~repro.collectives.compressed.CompressedOscAlltoallv`)
+        to get compression + cached windows.
+        """
+        if comm.size != self.nranks:
+            raise PlanError("communicator size does not match plan")
+        rank = comm.rank
+        dtype = local.dtype
+        batch = local.shape[:-3]
+
+        send: list[np.ndarray | None] = [None] * self.nranks
+        for d, box in self.pairs[rank]:
+            send[d] = self.pack(rank, local, d, box)
+
+        if alltoall is not None:
+            recv = alltoall(send)
+            if stats is not None:
+                stats.messages += alltoall.last_stats.sent_messages
+                stats.logical_bytes += alltoall.last_stats.original_bytes
+                stats.wire_bytes += alltoall.last_stats.wire_bytes
+        elif codec is not None:
+            op = CompressedOscAlltoallv(comm, codec, topology=topology)
+            try:
+                recv = op(send)
+            finally:
+                op.free()
+            if stats is not None:
+                stats.messages += op.last_stats.sent_messages
+                stats.logical_bytes += op.last_stats.original_bytes
+                stats.wire_bytes += op.last_stats.wire_bytes
+        elif method == "reference":
+            recv = comm.alltoallv(send)
+        elif method == "pairwise":
+            recv = pairwise_alltoallv(comm, send, topology=topology)
+        elif method == "osc":
+            recv = osc_alltoallv(comm, send, topology=topology)
+        else:
+            raise PlanError(f"unknown reshape method {method!r}")
+
+        out = self._alloc_out(rank, dtype, batch)
+        for s, box in self.incoming[rank]:
+            chunk = np.asarray(recv[s])
+            if chunk.dtype != dtype:
+                chunk = chunk.view(np.uint8).view(dtype) if codec is None and alltoall is None else chunk.astype(dtype)
+            self.unpack(rank, out, s, box, chunk)
+        return out

@@ -1,0 +1,22 @@
+"""Simulated GPU device: streams, kernels and the pipeline counter trick.
+
+Section V-B pipelines compression with communication through CUDA-stream
+ordering: "instead of using CUDA events to track the completed kernels,
+we simply call a second kernel on the same stream to update a memory
+location that indicates the current status of the compression.  Thus the
+communication of the compressed chunks can be triggered by the CPU by
+watching the updates of the shared counter."
+
+This package reproduces that mechanism functionally:
+:class:`~repro.gpudev.stream.Stream` executes enqueued kernels strictly
+in order (with modelled completion timestamps), and
+:class:`~repro.gpudev.pipeline.CompressionPipeline` enqueues
+(compress chunk k, bump counter) pairs and lets a host loop issue the
+put for every chunk whose counter tick has fired — the exact
+progress-tracking pattern of the paper, testable without CUDA.
+"""
+
+from repro.gpudev.pipeline import CompressionPipeline, PipelineTrace
+from repro.gpudev.stream import Kernel, Stream
+
+__all__ = ["Stream", "Kernel", "CompressionPipeline", "PipelineTrace"]

@@ -1,0 +1,90 @@
+"""A CUDA-stream stand-in: strictly ordered kernel execution with timing.
+
+Kernels enqueued on a :class:`Stream` run in submission order; each
+carries a modelled duration (from :mod:`repro.netsim.kernels`-style cost
+functions) and the stream tracks the simulated clock at which every
+kernel completes.  ``synchronize()`` runs everything still queued.
+
+The scheduler is deliberately *lazy*: kernels execute on
+``progress()`` / ``synchronize()`` calls, which lets tests interleave
+host-side polling with device-side progress exactly like a CPU thread
+watching a pinned-memory counter while a GPU crunches chunks.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import ModelError
+
+__all__ = ["Kernel", "Stream"]
+
+
+@dataclass
+class Kernel:
+    """One device kernel: a host callable plus a modelled duration."""
+
+    name: str
+    fn: Callable[[], Any]
+    duration_s: float = 0.0
+    #: Set when the kernel has executed.
+    done: bool = False
+    #: Simulated completion timestamp (set on execution).
+    completed_at: float = field(default=float("nan"))
+
+    def __post_init__(self) -> None:
+        if self.duration_s < 0:
+            raise ModelError(f"kernel {self.name!r}: negative duration")
+
+
+class Stream:
+    """Strictly in-order kernel queue with a simulated clock."""
+
+    def __init__(self, name: str = "stream0") -> None:
+        self.name = name
+        self._queue: deque[Kernel] = deque()
+        self._log: list[Kernel] = []
+        self.clock_s = 0.0
+
+    # -- submission ---------------------------------------------------------------
+
+    def launch(self, name: str, fn: Callable[[], Any], duration_s: float = 0.0) -> Kernel:
+        """Enqueue a kernel; returns its handle (not yet executed)."""
+        k = Kernel(name, fn, duration_s)
+        self._queue.append(k)
+        return k
+
+    # -- progress -----------------------------------------------------------------
+
+    def progress(self, max_kernels: int | None = 1) -> int:
+        """Execute up to ``max_kernels`` queued kernels (None = all).
+
+        Returns the number executed.  This models the device making
+        progress while the host does other work between polls.
+        """
+        executed = 0
+        while self._queue and (max_kernels is None or executed < max_kernels):
+            k = self._queue.popleft()
+            k.fn()
+            self.clock_s += k.duration_s
+            k.done = True
+            k.completed_at = self.clock_s
+            self._log.append(k)
+            executed += 1
+        return executed
+
+    def synchronize(self) -> float:
+        """Run everything queued; returns the simulated clock."""
+        self.progress(max_kernels=None)
+        return self.clock_s
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+    @property
+    def history(self) -> list[Kernel]:
+        """Executed kernels, in completion order."""
+        return list(self._log)

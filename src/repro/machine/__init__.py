@@ -1,0 +1,36 @@
+"""Machine description and process topology (the Summit substitute).
+
+The paper's experiments ran on ORNL Summit: dual-socket nodes, 3 GPUs
+per socket (6 per node, one MPI rank per GPU), 50 GB/s intra-node
+(NVLink) vs. 25 GB/s total inter-node (2 InfiniBand lanes).  We replace
+the physical machine with :class:`~repro.machine.spec.MachineSpec`, a
+declarative model consumed by the network simulator, plus the
+rank→(node, socket, gpu) topology maps and the node-aware ring
+permutations of Section V.
+"""
+
+from repro.machine.spec import (
+    SUMMIT,
+    GpuSpec,
+    MachineSpec,
+    NetworkSpec,
+    laptop_spec,
+    summit_spec,
+)
+from repro.machine.topology import (
+    Topology,
+    node_aware_permutation,
+    ring_schedule,
+)
+
+__all__ = [
+    "GpuSpec",
+    "NetworkSpec",
+    "MachineSpec",
+    "SUMMIT",
+    "summit_spec",
+    "laptop_spec",
+    "Topology",
+    "node_aware_permutation",
+    "ring_schedule",
+]

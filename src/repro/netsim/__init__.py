@@ -1,0 +1,61 @@
+"""Network/GPU performance model (the Summit testbed substitute).
+
+Wall-clock measurements in this repository's execution environment (one
+CPU, shared memory) say nothing about a 256-node InfiniBand machine, so
+every performance figure of the paper is regenerated from a *cost
+model* parameterised by :class:`repro.machine.spec.MachineSpec`.  The
+model implements the cost structure the paper argues about:
+
+* two-sided messages pay a rendezvous handshake; one-sided puts pay a
+  much smaller issue overhead (Section V);
+* the classical (non-topology-aware) all-to-all suffers congestion that
+  grows with node count and message size ("a storm of messages in the
+  network increasing the opportunity for collisions, and rerouting");
+* the node-aware OSC ring keeps one node pair per NIC per round;
+* compression divides wire volume by the codec rate and adds (pipelined)
+  GPU kernel time: first-chunk fill + full decompress after the fence;
+* at large scale messages shrink (strong scaling) and per-message
+  latency becomes the floor — the paper's explanation for the FP16
+  speedup tapering beyond 384 GPUs.
+
+:mod:`~repro.netsim.alltoall_model` produces Fig. 3;
+:mod:`~repro.netsim.fft_model` composes it with local FFT/pack/compress
+kernel costs to produce Fig. 4.
+"""
+
+from repro.netsim.alltoall_model import (
+    AlltoallCost,
+    bruck_alltoall_cost,
+    classical_alltoall_cost,
+    compressed_osc_alltoall_cost,
+    osc_alltoall_cost,
+)
+from repro.netsim.events import FlowSim, simulate_alltoall
+from repro.netsim.fft_model import FftCost, FftScenario, fft3d_cost
+from repro.netsim.kernels import compression_kernel_time, fft_kernel_time, pack_kernel_time
+from repro.netsim.tools import (
+    bruck_ring_crossover_bytes,
+    compression_breakeven_bytes,
+    fft_phase_breakdown,
+    format_phase_breakdown,
+)
+
+__all__ = [
+    "AlltoallCost",
+    "classical_alltoall_cost",
+    "osc_alltoall_cost",
+    "compressed_osc_alltoall_cost",
+    "bruck_alltoall_cost",
+    "FftScenario",
+    "FftCost",
+    "fft3d_cost",
+    "compression_kernel_time",
+    "pack_kernel_time",
+    "fft_kernel_time",
+    "FlowSim",
+    "simulate_alltoall",
+    "compression_breakeven_bytes",
+    "bruck_ring_crossover_bytes",
+    "fft_phase_breakdown",
+    "format_phase_breakdown",
+]

@@ -1,0 +1,255 @@
+"""Cost model of the three all-to-all implementations (drives Fig. 3).
+
+All three algorithms move the same logical volume — each of ``p`` ranks
+sends ``m`` bytes to every rank — but differ in *how*:
+
+``classical_alltoall_cost``
+    The default two-sided ``MPI_Alltoall(v)``: per-message rendezvous
+    handshakes (serialised on each rank's progress engine) and a
+    congestion-degraded inter-node bandwidth.  Congestion grows with
+    the node count and with message size (big unordered message storms
+    collide and re-route — Section V-A), which is what bends the
+    classical curve of Fig. 3 down to ~5 GB/s/node.
+
+``osc_alltoall_cost``
+    Algorithm 3: node-aware ring of one-sided puts.  ``n`` node-rounds;
+    in each round a node's ``g`` ranks stream ``g * m`` bytes each to a
+    single partner node, so the NIC is shared but never contended.
+    Puts pay only a small issue overhead, and one network latency per
+    round is exposed (everything else pipelines).
+
+``compressed_osc_alltoall_cost``
+    Section V-B: the OSC ring on ``m / rate`` bytes, plus GPU kernel
+    time — the pipeline hides all compression except the first chunk's
+    fill; decompression of the whole received buffer happens after the
+    closing fence.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ModelError
+from repro.machine.spec import MachineSpec
+from repro.netsim.kernels import compression_kernel_time
+
+__all__ = [
+    "AlltoallCost",
+    "classical_alltoall_cost",
+    "osc_alltoall_cost",
+    "compressed_osc_alltoall_cost",
+    "bruck_alltoall_cost",
+]
+
+#: Congestion growth per node-count doubling beyond 4 nodes (classical).
+CONGESTION_PER_DOUBLING = 0.31
+#: Residual congestion of the node-aware OSC ring (a fenced ring still
+#: keeps every NIC busy simultaneously; rerouting effects do not vanish).
+OSC_CONGESTION_PER_DOUBLING = 0.05
+#: Message size (bytes) at which congestion reaches half strength.
+CONGESTION_HALF_SIZE = 20_000.0
+#: Per-message CPU issue cost of the classical two-sided path (s).
+TWOSIDED_ISSUE = 2.0e-6
+
+
+@dataclass(frozen=True)
+class AlltoallCost:
+    """Timing breakdown of one all-to-all (per paper metric conventions)."""
+
+    algorithm: str
+    nranks: int
+    msg_bytes: int
+    transfer_s: float
+    overhead_s: float
+    kernel_s: float = 0.0
+    sent_bytes_per_node: float = 0.0
+
+    @property
+    def total_s(self) -> float:
+        return self.transfer_s + self.overhead_s + self.kernel_s
+
+    @property
+    def node_bandwidth_gbs(self) -> float:
+        """Fig. 3 metric: bytes *sent per node* / time (self-sends included,
+        matching the paper's "1536 * 80 KB" accounting)."""
+        return self.sent_bytes_per_node / self.total_s / 1e9
+
+
+def _volumes(machine: MachineSpec, nranks: int, msg_bytes: int) -> tuple[int, float, float, float]:
+    """(nodes, inter/intra/self bytes sent per node)."""
+    g = machine.gpus_per_node
+    n = machine.nodes_for(nranks)
+    inter = g * msg_bytes * (nranks - g)
+    intra = g * msg_bytes * (g - 1)
+    self_ = g * msg_bytes
+    return n, float(inter), float(intra), float(self_)
+
+
+def _sent_per_node(machine: MachineSpec, nranks: int, msg_bytes: int) -> float:
+    return float(machine.gpus_per_node * nranks * msg_bytes)
+
+
+def congestion_factor(
+    nnodes: int, msg_bytes: float, *, per_doubling: float = CONGESTION_PER_DOUBLING
+) -> float:
+    """Bandwidth-degradation factor of an all-to-all message storm.
+
+    1 at <= 4 nodes, growing with ``log2(n / 4)`` and saturating in the
+    message size (short messages drain before they can collide).  The
+    classical unordered collective uses the full coefficient; the
+    node-aware OSC ring a much smaller residual one.
+    """
+    if nnodes <= 4:
+        return 1.0
+    size_weight = msg_bytes / (msg_bytes + CONGESTION_HALF_SIZE)
+    return 1.0 + per_doubling * math.log2(nnodes / 4.0) * size_weight
+
+
+def classical_alltoall_cost(
+    machine: MachineSpec, nranks: int, msg_bytes: int
+) -> AlltoallCost:
+    """Default two-sided ``MPI_Alltoall(v)`` with ``msg_bytes`` per pair."""
+    if msg_bytes < 0:
+        raise ModelError("msg_bytes must be >= 0")
+    net = machine.network
+    n, inter, intra, self_ = _volumes(machine, nranks, msg_bytes)
+
+    eff_inter = net.internode_gbs * 1e9 / congestion_factor(n, msg_bytes)
+    transfer = inter / eff_inter + intra / (net.intranode_gbs * 1e9)
+
+    # Per-rank serial costs: message issue plus (for rendezvous-sized
+    # messages) the handshake round-trip, partially overlapped with the
+    # bulk transfers of *other* messages.
+    nmsg = nranks - 1
+    handshake = net.rendezvous_us * 1e-6 if msg_bytes > net.eager_limit else 0.0
+    overhead = nmsg * (TWOSIDED_ISSUE + 0.5 * handshake) + net.base_latency_us * 1e-6
+
+    return AlltoallCost(
+        "classical",
+        nranks,
+        msg_bytes,
+        transfer,
+        overhead,
+        sent_bytes_per_node=_sent_per_node(machine, nranks, msg_bytes),
+    )
+
+
+def osc_alltoall_cost(
+    machine: MachineSpec, nranks: int, msg_bytes: int, *, wire_bytes: int | None = None
+) -> AlltoallCost:
+    """Node-aware one-sided ring (Algorithm 3).
+
+    ``wire_bytes`` overrides the per-pair bytes actually put on the wire
+    (used by the compressed variant); the Fig. 3 bandwidth metric keeps
+    counting the *logical* ``msg_bytes``.
+    """
+    if msg_bytes < 0:
+        raise ModelError("msg_bytes must be >= 0")
+    net = machine.network
+    g = machine.gpus_per_node
+    n, _, _, _ = _volumes(machine, nranks, msg_bytes)
+    w = msg_bytes if wire_bytes is None else wire_bytes
+
+    inter_bw = net.internode_gbs * 1e9 / congestion_factor(
+        n, w, per_doubling=OSC_CONGESTION_PER_DOUBLING
+    )
+    intra_bw = net.intranode_gbs * 1e9
+
+    # n - 1 inter-node rounds: each moves g ranks x g messages through the NIC.
+    round_bytes = g * g * w
+    transfer = (n - 1) * (round_bytes / inter_bw) + round_bytes / intra_bw
+    # one latency exposed per round (puts pipeline within the round),
+    # plus the CPU issue cost of every put.
+    put_issue = net.put_overhead_us * 1e-6
+    overhead = n * net.base_latency_us * 1e-6 + (nranks - 1) * put_issue
+    # self-send: a local device copy.
+    kernel = w / (machine.gpu.membw_gbs * 1e9)
+
+    return AlltoallCost(
+        "osc",
+        nranks,
+        msg_bytes,
+        transfer,
+        overhead,
+        kernel,
+        sent_bytes_per_node=_sent_per_node(machine, nranks, msg_bytes),
+    )
+
+
+def bruck_alltoall_cost(machine: MachineSpec, nranks: int, msg_bytes: int) -> AlltoallCost:
+    """Bruck's log-p algorithm (small-message regime).
+
+    ``ceil(log2 p)`` rounds; every round each rank ships half its blocks
+    (``p/2 * m`` bytes) to one partner, so the *volume* is multiplied by
+    ``log2(p)/2`` relative to direct exchange while the *start-up count*
+    drops from ``p`` to ``log2 p``.  The crossover against the ring —
+    small messages favour Bruck, large favour the ring — is the same
+    latency/bandwidth tension that caps the paper's FP16 speedup at
+    scale (Fig. 4 right).
+    """
+    if msg_bytes < 0:
+        raise ModelError("msg_bytes must be >= 0")
+    net = machine.network
+    g = machine.gpus_per_node
+    n, _, _, _ = _volumes(machine, nranks, msg_bytes)
+    rounds = max(1, math.ceil(math.log2(nranks)))
+
+    round_bytes_per_rank = (nranks / 2.0) * msg_bytes
+    # partners at distance 2^k are almost always off-node for k >= log2(g)
+    inter_rounds = max(0, rounds - max(0, int(math.log2(max(g, 1)))))
+    intra_rounds = rounds - inter_rounds
+    transfer = inter_rounds * (g * round_bytes_per_rank) / (net.internode_gbs * 1e9)
+    transfer += intra_rounds * (g * round_bytes_per_rank) / (net.intranode_gbs * 1e9)
+    handshake = net.rendezvous_us * 1e-6 if round_bytes_per_rank > net.eager_limit else 0.0
+    overhead = rounds * (TWOSIDED_ISSUE + handshake + net.base_latency_us * 1e-6)
+    return AlltoallCost(
+        "bruck",
+        nranks,
+        msg_bytes,
+        transfer,
+        overhead,
+        sent_bytes_per_node=_sent_per_node(machine, nranks, msg_bytes),
+    )
+
+
+def compressed_osc_alltoall_cost(
+    machine: MachineSpec,
+    nranks: int,
+    msg_bytes: int,
+    *,
+    rate: float,
+    codec_name: str = "cast_fp32",
+    pipeline_chunks: int = 8,
+) -> AlltoallCost:
+    """OSC ring + on-the-fly compression (Section V-B).
+
+    The pipeline hides all compression behind the wire time except the
+    *first chunk's* compression ("a total cost equal to the cost of the
+    compression of the first chunk plus the communication of the
+    compressed data"); decompression of the full received volume runs
+    after the closing fence.
+    """
+    if rate < 1.0:
+        raise ModelError(f"rate must be >= 1, got {rate}")
+    if pipeline_chunks < 1:
+        raise ModelError("pipeline_chunks must be >= 1")
+    wire = max(1, int(math.ceil(msg_bytes / rate)))
+    base = osc_alltoall_cost(machine, nranks, msg_bytes, wire_bytes=wire)
+
+    send_total = nranks * msg_bytes  # this rank's outgoing FP64 bytes
+    first_chunk = compression_kernel_time(
+        machine.gpu, send_total // (nranks * pipeline_chunks), rate, codec_name=codec_name
+    )
+    decompress = compression_kernel_time(machine.gpu, send_total, rate, codec_name=codec_name)
+    kernel = base.kernel_s + first_chunk + decompress
+
+    return AlltoallCost(
+        f"osc+{codec_name}",
+        nranks,
+        msg_bytes,
+        base.transfer_s,
+        base.overhead_s,
+        kernel,
+        sent_bytes_per_node=_sent_per_node(machine, nranks, msg_bytes),
+    )

@@ -1,0 +1,258 @@
+"""Flow-level discrete-event network simulator.
+
+The closed-form costs in :mod:`~repro.netsim.alltoall_model` make
+aggregate assumptions (per-round NIC sharing, one latency per round).
+This module checks them from below: every message becomes a *flow*
+through shared resources — the sender's NIC-out, the receiver's NIC-in
+(inter-node), or the node's internal fabric (intra-node) — and link
+capacity is divided max-min fairly among concurrent flows.  Dependency
+edges encode algorithm schedules (ring step ``j+1`` of a rank starts
+when its step ``j`` completed; the linear "storm" posts everything at
+once).  The simulation advances from completion event to completion
+event, re-solving the max-min allocation in between.
+
+This is a *fluid* model — per-packet effects are out of scope — but it
+is enough to watch the paper's Section V-A claim emerge: the unordered
+storm self-contends on NIC queues while the node-aware ring keeps every
+link exclusively paired.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import ModelError
+from repro.machine.spec import MachineSpec
+from repro.machine.topology import Topology, node_aware_permutation
+
+__all__ = ["Flow", "FlowSim", "simulate_alltoall"]
+
+_EPS = 1e-15
+
+
+@dataclass
+class Flow:
+    """One message: ``nbytes`` across a set of shared resources."""
+
+    flow_id: int
+    resources: tuple[str, ...]
+    nbytes: float
+    depends_on: tuple[int, ...] = ()
+    extra_delay: float = 0.0  # added after dependencies complete (latency)
+    # -- simulation state --
+    remaining: float = field(init=False)
+    start_time: float = field(default=math.nan)
+    finish_time: float = field(default=math.nan)
+
+    def __post_init__(self) -> None:
+        if self.nbytes < 0:
+            raise ModelError("flow bytes must be >= 0")
+        self.remaining = float(self.nbytes)
+
+
+class FlowSim:
+    """Max-min fair fluid simulation over named capacity resources."""
+
+    def __init__(self) -> None:
+        self._capacity: dict[str, float] = {}
+        self._flows: list[Flow] = []
+
+    def add_resource(self, name: str, bytes_per_s: float) -> None:
+        if bytes_per_s <= 0:
+            raise ModelError(f"resource {name!r} needs positive capacity")
+        self._capacity[name] = float(bytes_per_s)
+
+    def add_flow(
+        self,
+        resources: tuple[str, ...],
+        nbytes: float,
+        *,
+        depends_on: tuple[int, ...] = (),
+        extra_delay: float = 0.0,
+    ) -> int:
+        for r in resources:
+            if r not in self._capacity:
+                raise ModelError(f"unknown resource {r!r}")
+        for d in depends_on:
+            if not 0 <= d < len(self._flows):
+                raise ModelError(f"unknown dependency flow {d}")
+        flow = Flow(len(self._flows), tuple(resources), nbytes, tuple(depends_on), extra_delay)
+        self._flows.append(flow)
+        return flow.flow_id
+
+    # -- max-min fair rates ------------------------------------------------------
+
+    def _rates(self, active: list[Flow]) -> dict[int, float]:
+        """Progressive-filling max-min allocation for the active flows."""
+        remaining_cap = dict(self._capacity)
+        users: dict[str, set[int]] = {r: set() for r in self._capacity}
+        for f in active:
+            for r in f.resources:
+                users[r].add(f.flow_id)
+        rates: dict[int, float] = {}
+        unfrozen = {f.flow_id: f for f in active}
+        while unfrozen:
+            # bottleneck resource: smallest fair share among used resources
+            best_share, best_res = math.inf, None
+            for r, u in users.items():
+                live = [fid for fid in u if fid in unfrozen]
+                if not live:
+                    continue
+                share = remaining_cap[r] / len(live)
+                if share < best_share:
+                    best_share, best_res = share, r
+            if best_res is None:
+                break
+            frozen_now = [fid for fid in users[best_res] if fid in unfrozen]
+            for fid in frozen_now:
+                rates[fid] = best_share
+                flow = unfrozen.pop(fid)
+                for r in flow.resources:
+                    remaining_cap[r] -= best_share
+                    remaining_cap[r] = max(remaining_cap[r], 0.0)
+        return rates
+
+    # -- the event loop ------------------------------------------------------------
+
+    def run(self) -> list[Flow]:
+        """Execute all flows; returns them with start/finish times set."""
+        flows = self._flows
+        now = 0.0
+        finished: set[int] = set()
+        # activation time becomes known once all deps are finished.
+        ready_at: dict[int, float] = {}
+        for f in flows:
+            if not f.depends_on:
+                ready_at[f.flow_id] = f.extra_delay
+
+        active: list[Flow] = []
+        guard = 0
+        while len(finished) < len(flows):
+            guard += 1
+            if guard > 10 * len(flows) + 100:
+                raise ModelError("flow simulation failed to converge (cycle?)")
+            # activate anything whose time has come
+            for fid, t in list(ready_at.items()):
+                if t <= now + _EPS and fid not in finished:
+                    flow = flows[fid]
+                    if math.isnan(flow.start_time):
+                        flow.start_time = max(now, t)
+                        active.append(flow)
+                    del ready_at[fid]
+
+            if not active:
+                upcoming = [t for t in ready_at.values()]
+                if not upcoming:
+                    raise ModelError("deadlocked flow graph")
+                now = min(upcoming)
+                continue
+
+            rates = self._rates(active)
+            # zero-byte flows finish instantly
+            dt_candidates = []
+            for f in active:
+                rate = rates.get(f.flow_id, 0.0)
+                if f.remaining <= _EPS:
+                    dt_candidates.append(0.0)
+                elif rate > 0:
+                    dt_candidates.append(f.remaining / rate)
+            next_ready = min((t for t in ready_at.values() if t > now), default=math.inf)
+            dt = min(dt_candidates) if dt_candidates else math.inf
+            dt = min(dt, next_ready - now)
+            if not math.isfinite(dt):
+                raise ModelError("no progress possible in flow simulation")
+
+            for f in active:
+                f.remaining -= rates.get(f.flow_id, 0.0) * dt
+            now += dt
+
+            still_active: list[Flow] = []
+            for f in active:
+                if f.remaining <= _EPS:
+                    f.finish_time = now
+                    finished.add(f.flow_id)
+                    # release dependents
+                    for g in flows:
+                        if f.flow_id in g.depends_on and g.flow_id not in finished:
+                            if all(d in finished for d in g.depends_on):
+                                dep_done = max(flows[d].finish_time for d in g.depends_on)
+                                ready_at[g.flow_id] = dep_done + g.extra_delay
+                else:
+                    still_active.append(f)
+            active = still_active
+        return flows
+
+    @property
+    def makespan(self) -> float:
+        """Latest finish time (call after :meth:`run`)."""
+        return max((f.finish_time for f in self._flows), default=0.0)
+
+
+def _build_network(sim: FlowSim, machine: MachineSpec, nnodes: int) -> None:
+    net = machine.network
+    for node in range(nnodes):
+        sim.add_resource(f"out{node}", net.internode_gbs * 1e9)
+        sim.add_resource(f"in{node}", net.internode_gbs * 1e9)
+        sim.add_resource(f"fab{node}", net.intranode_gbs * 1e9)
+
+
+def _flow_resources(topo: Topology, src: int, dst: int) -> tuple[str, ...]:
+    a, b = topo.node_of(src), topo.node_of(dst)
+    if a == b:
+        return (f"fab{a}",)
+    return (f"out{a}", f"in{b}")
+
+
+def simulate_alltoall(
+    machine: MachineSpec,
+    nranks: int,
+    msg_bytes: int,
+    *,
+    algorithm: str = "ring",
+) -> float:
+    """Flow-level makespan of one all-to-all (seconds).
+
+    ``algorithm``: ``"ring"`` (node-aware, Section V), ``"naive_ring"``
+    (no permutation), or ``"linear"`` (post everything at once — the
+    storm).  Self-messages are excluded (device-local copies).
+    """
+    topo = Topology(machine, nranks)
+    sim = FlowSim()
+    _build_network(sim, machine, topo.nnodes)
+    net = machine.network
+    lat = net.base_latency_us * 1e-6
+
+    if algorithm == "linear":
+        issue = 2.0e-6  # per-message CPU injection stagger
+        for src in range(nranks):
+            for k, dst in enumerate(d for d in range(nranks) if d != src):
+                sim.add_flow(
+                    _flow_resources(topo, src, dst),
+                    msg_bytes,
+                    extra_delay=lat + k * issue,
+                )
+    elif algorithm in ("ring", "naive_ring"):
+        if algorithm == "ring":
+            perm = node_aware_permutation(topo)
+        else:
+            from repro.machine.topology import naive_ring_permutation
+
+            perm = naive_ring_permutation(nranks)
+        prev: dict[int, int | None] = {r: None for r in range(nranks)}
+        for step in range(1, nranks):
+            for src in range(nranks):
+                dst = int(perm[src, step])
+                dep = () if prev[src] is None else (prev[src],)
+                fid = sim.add_flow(
+                    _flow_resources(topo, src, dst),
+                    msg_bytes,
+                    depends_on=dep,  # ring: one outstanding send per rank
+                    extra_delay=lat + net.put_overhead_us * 1e-6,
+                )
+                prev[src] = fid
+    else:
+        raise ModelError(f"unknown algorithm {algorithm!r}")
+
+    sim.run()
+    return sim.makespan

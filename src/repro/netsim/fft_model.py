@@ -1,0 +1,193 @@
+"""End-to-end 3-D FFT time model (drives Fig. 4).
+
+Follows the paper's general pipeline (Fig. 1): four reshapes — each an
+all-to-all over all ``p`` ranks with per-pair messages of
+``N^3 * elem_bytes / p^2`` — interleaved with three batched 1-D FFT
+compute phases, plus pack/unpack kernels around every exchange.
+
+Modes mirror the four curves of Fig. 4:
+
+========  ==========================  =========================
+curve      compute precision           communication
+========  ==========================  =========================
+FP64       FP64                        classical alltoallv, FP64
+FP32       FP32                        classical alltoallv, FP32
+FP64→FP32  FP64                        OSC + truncation rate 2
+FP64→FP16  FP64                        OSC + truncation rate 4
+========  ==========================  =========================
+
+The Gflop/s metric uses the standard complex-FFT flop count
+``5 N^3 log2(N^3)`` regardless of mode, so rates are directly
+comparable (speedup = inverse time ratio).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ModelError
+from repro.machine.spec import MachineSpec
+from repro.netsim.alltoall_model import (
+    AlltoallCost,
+    classical_alltoall_cost,
+    compressed_osc_alltoall_cost,
+    osc_alltoall_cost,
+)
+from repro.netsim.kernels import fft_kernel_time, pack_kernel_time
+
+__all__ = ["FftScenario", "FftCost", "fft3d_cost", "STANDARD_SCENARIOS"]
+
+#: Reshapes in the general case of Fig. 1 (brick→x→y→z→brick).
+N_RESHAPES = 4
+#: Compute phases (one batch of 1-D FFTs per direction).
+N_COMPUTE = 3
+
+
+@dataclass(frozen=True)
+class FftScenario:
+    """One Fig. 4 curve: compute precision + communication scheme.
+
+    ``comm_rate`` is the wire compression rate (1 = uncompressed);
+    ``comm_elem_bytes`` the *logical* bytes per complex element on the
+    wire before compression (16 for FP64 data, 8 for an all-FP32 run).
+    """
+
+    label: str
+    compute_precision: str  # "fp64" | "fp32"
+    comm_mode: str  # "classical" | "osc"
+    comm_rate: float = 1.0
+    codec_name: str = "cast_fp32"
+
+    @property
+    def comm_elem_bytes(self) -> int:
+        return 16 if self.compute_precision == "fp64" else 8
+
+    def __post_init__(self) -> None:
+        if self.comm_mode not in ("classical", "osc"):
+            raise ModelError(f"unknown comm mode {self.comm_mode!r}")
+        if self.comm_rate < 1.0:
+            raise ModelError("comm_rate must be >= 1")
+
+
+#: The four curves of Fig. 4.
+STANDARD_SCENARIOS: dict[str, FftScenario] = {
+    "FP64": FftScenario("FP64", "fp64", "classical"),
+    "FP32": FftScenario("FP32", "fp32", "classical"),
+    "FP64->FP32": FftScenario("FP64->FP32", "fp64", "osc", 2.0, "cast_fp32"),
+    "FP64->FP16": FftScenario("FP64->FP16", "fp64", "osc", 4.0, "cast_fp16"),
+}
+
+
+@dataclass(frozen=True)
+class FftCost:
+    """Timing breakdown of one full 3-D FFT."""
+
+    scenario: str
+    n: int
+    nranks: int
+    compute_s: float
+    pack_s: float
+    comm_transfer_s: float
+    comm_overhead_s: float
+    comm_kernel_s: float
+
+    @property
+    def comm_s(self) -> float:
+        return self.comm_transfer_s + self.comm_overhead_s + self.comm_kernel_s
+
+    @property
+    def total_s(self) -> float:
+        return self.compute_s + self.pack_s + self.comm_s
+
+    @property
+    def flops(self) -> float:
+        """Nominal complex-FFT flop count, ``5 N^3 log2(N^3)``."""
+        return 5.0 * self.n**3 * 3.0 * math.log2(self.n)
+
+    @property
+    def gflops(self) -> float:
+        return self.flops / self.total_s / 1e9
+
+    @property
+    def comm_fraction(self) -> float:
+        return self.comm_s / self.total_s
+
+
+def _reshape_cost(
+    machine: MachineSpec, scenario: FftScenario, nranks: int, pair_bytes: int
+) -> AlltoallCost:
+    if scenario.comm_mode == "classical":
+        return classical_alltoall_cost(machine, nranks, pair_bytes)
+    if scenario.comm_rate > 1.0:
+        return compressed_osc_alltoall_cost(
+            machine, nranks, pair_bytes, rate=scenario.comm_rate, codec_name=scenario.codec_name
+        )
+    return osc_alltoall_cost(machine, nranks, pair_bytes)
+
+
+def fft3d_cost(
+    machine: MachineSpec,
+    nranks: int,
+    n: int,
+    scenario: FftScenario | str = "FP64",
+) -> FftCost:
+    """Model the time of one forward 3-D FFT of an ``n^3`` grid.
+
+    Parameters
+    ----------
+    machine:
+        Cluster description (e.g. :data:`repro.machine.spec.SUMMIT`).
+    nranks:
+        MPI ranks = GPUs (must fill whole nodes).
+    n:
+        Per-dimension problem size (the paper: 1024).
+    scenario:
+        A :class:`FftScenario` or one of the Fig. 4 curve names.
+    """
+    if isinstance(scenario, str):
+        try:
+            scenario = STANDARD_SCENARIOS[scenario]
+        except KeyError:
+            raise ModelError(
+                f"unknown scenario {scenario!r}; known: {sorted(STANDARD_SCENARIOS)}"
+            ) from None
+    machine.nodes_for(nranks)  # validate
+    if n < 2:
+        raise ModelError(f"n must be >= 2, got {n}")
+
+    total_elems = n**3
+    local_bytes = total_elems * scenario.comm_elem_bytes // nranks
+    pair_bytes = max(1, total_elems * scenario.comm_elem_bytes // (nranks * nranks))
+
+    # -- communication: N_RESHAPES identical all-to-alls ------------------------
+    one = _reshape_cost(machine, scenario, nranks, pair_bytes)
+    comm_transfer = N_RESHAPES * one.transfer_s
+    comm_overhead = N_RESHAPES * one.overhead_s
+    comm_kernel = N_RESHAPES * one.kernel_s
+
+    # -- compute: three batched 1-D FFT phases ----------------------------------
+    flops_per_rank = 5.0 * total_elems * math.log2(n) / nranks  # per direction
+    compute = N_COMPUTE * fft_kernel_time(
+        machine.gpu, flops_per_rank, scenario.compute_precision
+    )
+
+    # -- pack/unpack around every reshape ----------------------------------------
+    # The classical path runs pack -> alltoallv -> unpack serially; the
+    # OSC path pipelines pack/compress with the puts (Section V-B), so
+    # only the classical scenarios expose the pack kernels.
+    if scenario.comm_mode == "classical":
+        pack = N_RESHAPES * 2 * pack_kernel_time(machine.gpu, local_bytes)
+    else:
+        pack = 0.0
+
+    return FftCost(
+        scenario.label,
+        n,
+        nranks,
+        compute,
+        pack,
+        comm_transfer,
+        comm_overhead,
+        comm_kernel,
+    )

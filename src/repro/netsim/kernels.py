@@ -1,0 +1,67 @@
+"""GPU kernel cost models (the CUDA substitute).
+
+Truncation/packing kernels are memory-bandwidth bound: they read the
+source and write the (smaller) destination, so their throughput is the
+device memory bandwidth divided by the bytes moved per element.  Local
+1-D FFTs are modelled from the device's sustained FFT flop rate
+(Table I peaks x an efficiency factor — batched cuFFT is memory bound
+and reaches ~10 % of FP64 peak).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ModelError
+from repro.machine.spec import GpuSpec
+
+__all__ = ["compression_kernel_time", "pack_kernel_time", "fft_kernel_time", "CODEC_WORK_FACTOR"]
+
+#: Relative arithmetic cost of codecs vs. a plain copy (truncation == cast
+#: is a streaming cast; the zfp-like transform does ~10x more work per
+#: byte; zlib on the GPU substitute is far slower still).
+CODEC_WORK_FACTOR: dict[str, float] = {
+    "identity": 1.0,
+    "cast": 1.0,
+    "trim": 1.2,
+    "zfp": 10.0,
+    "zlib": 60.0,
+}
+
+
+def _codec_family(codec_name: str) -> str:
+    for family in CODEC_WORK_FACTOR:
+        if codec_name.startswith(family):
+            return family
+    raise ModelError(f"no kernel cost model for codec {codec_name!r}")
+
+
+def compression_kernel_time(
+    gpu: GpuSpec, nbytes_in: int, rate: float, *, codec_name: str = "cast_fp32"
+) -> float:
+    """Seconds to compress (or decompress) ``nbytes_in`` of FP64 data.
+
+    Streaming kernel: reads ``nbytes_in``, writes ``nbytes_in / rate``
+    (reversed for decompression — same total traffic), scaled by the
+    codec's work factor.
+    """
+    if nbytes_in < 0:
+        raise ModelError("nbytes_in must be >= 0")
+    if rate < 1.0:
+        raise ModelError(f"compression rate must be >= 1, got {rate}")
+    traffic = nbytes_in * (1.0 + 1.0 / rate)
+    factor = CODEC_WORK_FACTOR[_codec_family(codec_name)]
+    return factor * traffic / (gpu.membw_gbs * 1e9) + gpu.kernel_launch_us * 1e-6
+
+
+def pack_kernel_time(gpu: GpuSpec, nbytes: int) -> float:
+    """Seconds to pack or unpack ``nbytes`` (read + write, strided)."""
+    if nbytes < 0:
+        raise ModelError("nbytes must be >= 0")
+    # strided accesses halve the effective bandwidth vs. a straight copy.
+    return 2.0 * nbytes / (0.5 * gpu.membw_gbs * 1e9) + gpu.kernel_launch_us * 1e-6
+
+
+def fft_kernel_time(gpu: GpuSpec, flops: float, precision: str) -> float:
+    """Seconds for ``flops`` of batched 1-D FFT work in ``precision``."""
+    if flops < 0:
+        raise ModelError("flops must be >= 0")
+    return flops / (gpu.fft_tflops(precision) * 1e12) + gpu.kernel_launch_us * 1e-6

@@ -1,0 +1,135 @@
+"""Model exploration tools: crossovers, break-even analysis, traces.
+
+These answer the questions a practitioner asks the paper: *when* does
+compression pay (it costs kernel time and accuracy), when does the
+one-sided ring beat Bruck, and what does the FFT's time budget look
+like phase by phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ModelError
+from repro.machine.spec import MachineSpec
+from repro.netsim.alltoall_model import (
+    bruck_alltoall_cost,
+    compressed_osc_alltoall_cost,
+    osc_alltoall_cost,
+)
+from repro.netsim.fft_model import STANDARD_SCENARIOS, FftScenario, fft3d_cost
+from repro.utils.humanize import format_time
+
+__all__ = [
+    "compression_breakeven_bytes",
+    "bruck_ring_crossover_bytes",
+    "PhaseShare",
+    "fft_phase_breakdown",
+    "format_phase_breakdown",
+]
+
+
+def _bisect_crossover(lo: int, hi: int, better_at: "callable", *, steps: int = 60) -> int:
+    """Smallest message size in [lo, hi] where ``better_at(m)`` flips False.
+
+    ``better_at(m)`` must be True at ``lo`` and False at ``hi``.
+    """
+    if not better_at(lo) or better_at(hi):
+        raise ModelError("no crossover inside the bracket")
+    for _ in range(steps):
+        if hi - lo <= 1:
+            break
+        mid = (lo + hi) // 2
+        if better_at(mid):
+            lo = mid
+        else:
+            hi = mid
+    return hi
+
+
+def compression_breakeven_bytes(
+    machine: MachineSpec,
+    nranks: int,
+    *,
+    rate: float = 4.0,
+    codec_name: str = "cast_fp16",
+) -> int:
+    """Smallest per-pair message where compression stops winning.
+
+    Below this size latency dominates and the compression kernels cost
+    more than the saved wire time — the regime the paper identifies
+    beyond 384 GPUs in Fig. 4.  Returns the message size (bytes) at the
+    flip; raises if compression wins everywhere in [1 B, 1 GB].
+    """
+
+    def compression_wins(m: int) -> bool:
+        plain = osc_alltoall_cost(machine, nranks, m).total_s
+        comp = compressed_osc_alltoall_cost(
+            machine, nranks, m, rate=rate, codec_name=codec_name
+        ).total_s
+        return comp < plain
+
+    # compression never wins for tiny messages; find where it starts.
+    if compression_wins(1):
+        raise ModelError("compression wins even at 1 B: no break-even in range")
+    if not compression_wins(1 << 30):
+        raise ModelError("compression never wins up to 1 GB")
+    return _bisect_crossover(1, 1 << 30, lambda m: not compression_wins(m))
+
+
+def bruck_ring_crossover_bytes(machine: MachineSpec, nranks: int) -> int:
+    """Message size where the ring overtakes Bruck (latency/bandwidth flip)."""
+
+    def bruck_wins(m: int) -> bool:
+        return (
+            bruck_alltoall_cost(machine, nranks, m).total_s
+            < osc_alltoall_cost(machine, nranks, m).total_s
+        )
+
+    if not bruck_wins(1):
+        raise ModelError("Bruck loses even at 1 B")
+    if bruck_wins(1 << 26):
+        raise ModelError("Bruck wins even at 64 MB")
+    return _bisect_crossover(1, 1 << 26, bruck_wins)
+
+
+@dataclass(frozen=True)
+class PhaseShare:
+    """One phase of the modelled FFT timeline."""
+
+    name: str
+    seconds: float
+    fraction: float
+
+
+def fft_phase_breakdown(
+    machine: MachineSpec, nranks: int, n: int, scenario: FftScenario | str = "FP64"
+) -> list[PhaseShare]:
+    """Per-phase time shares of one modelled transform."""
+    cost = fft3d_cost(machine, nranks, n, scenario)
+    phases = [
+        ("compute (3x batched 1-D FFT)", cost.compute_s),
+        ("pack/unpack", cost.pack_s),
+        ("reshape transfer", cost.comm_transfer_s),
+        ("reshape latency/overhead", cost.comm_overhead_s),
+        ("compression kernels", cost.comm_kernel_s),
+    ]
+    total = cost.total_s
+    return [PhaseShare(name, t, t / total) for name, t in phases]
+
+
+def format_phase_breakdown(shares: list[PhaseShare]) -> str:
+    """Text bar chart of a phase breakdown."""
+    lines = []
+    for s in shares:
+        bar = "#" * max(0, int(round(40 * s.fraction)))
+        lines.append(f"{s.name:<30} {format_time(s.seconds):>12} {100 * s.fraction:5.1f}% {bar}")
+    return "\n".join(lines)
+
+
+def standard_scenario(name: str) -> FftScenario:
+    """Lookup helper mirroring :data:`~repro.netsim.fft_model.STANDARD_SCENARIOS`."""
+    try:
+        return STANDARD_SCENARIOS[name]
+    except KeyError:
+        raise ModelError(f"unknown scenario {name!r}") from None

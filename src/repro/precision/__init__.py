@@ -1,0 +1,38 @@
+"""Floating-point format zoo and mantissa-truncation kernels.
+
+This package reproduces the numerical machinery behind Section IV of the
+paper: the IEEE-style format parameters of Table I (:mod:`~repro.precision.formats`,
+:mod:`~repro.precision.table`) and the "truncation" compression primitive —
+rounding a binary64 value to a representation with fewer mantissa bits —
+used for the Fig. 2 accuracy sweep (:mod:`~repro.precision.rounding`).
+"""
+
+from repro.precision.formats import (
+    BF16,
+    FP16,
+    FP32,
+    FP64,
+    FloatFormat,
+    get_format,
+    known_formats,
+    trimmed_format,
+)
+from repro.precision.rounding import (
+    cast_via_format,
+    roundtrip_error,
+    trim_mantissa,
+)
+
+__all__ = [
+    "FloatFormat",
+    "FP64",
+    "FP32",
+    "FP16",
+    "BF16",
+    "get_format",
+    "known_formats",
+    "trimmed_format",
+    "trim_mantissa",
+    "cast_via_format",
+    "roundtrip_error",
+]

@@ -1,0 +1,36 @@
+"""In-process MPI-like runtimes (the Open MPI / UCX substitute).
+
+Two interchangeable execution substrates implement the communication
+semantics the paper's algorithms rely on:
+
+* :class:`~repro.runtime.thread_rt.ThreadWorld` — every rank is a real
+  thread.  Two-sided ``send/recv/isend/irecv`` with tag matching,
+  barriers, and one-sided RMA windows (``Put``/``Get``/``Fence``/
+  ``Lock``) with the same completion rules as MPI.  This is where the
+  pairwise and OSC all-to-all algorithms run and are tested.
+* :class:`~repro.runtime.virtual.VirtualWorld` — all rank buffers live
+  in one process and collectives execute functionally (a data shuffle).
+  No concurrency, so it scales to the paper's 1536 ranks for the
+  *accuracy* experiments (Table II) where real networks are irrelevant.
+
+SPMD code is written against the abstract :class:`~repro.runtime.base.Comm`
+handle, mirroring the mpi4py API shape (``comm.rank``, ``comm.size``,
+upper-case-style buffer semantics are implicit since everything is a
+NumPy array).
+"""
+
+from repro.runtime.base import ANY_SOURCE, ANY_TAG, Comm, Request
+from repro.runtime.thread_rt import ThreadWorld, run_spmd
+from repro.runtime.virtual import VirtualWorld
+from repro.runtime.window import Window
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Comm",
+    "Request",
+    "Window",
+    "ThreadWorld",
+    "run_spmd",
+    "VirtualWorld",
+]

@@ -1,0 +1,70 @@
+"""Tag-matched message queues backing the thread runtime's point-to-point.
+
+One :class:`Mailbox` per rank.  Senders :meth:`post` (source, tag,
+payload) envelopes; receivers :meth:`match` with optional wildcards.
+Matching follows MPI ordering semantics: messages from the same
+(source, tag) are matched in posting order (non-overtaking).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import CommunicatorError, RuntimeAbort
+
+__all__ = ["Envelope", "Mailbox"]
+
+
+@dataclass
+class Envelope:
+    source: int
+    tag: int
+    payload: np.ndarray
+
+
+class Mailbox:
+    """Thread-safe mailbox with MPI-style (source, tag) matching."""
+
+    def __init__(self, owner_rank: int) -> None:
+        self.owner_rank = owner_rank
+        self._queue: deque[Envelope] = deque()
+        self._cond = threading.Condition()
+        self._aborted: str | None = None
+
+    def post(self, env: Envelope) -> None:
+        """Deliver an envelope (called from the sender's thread)."""
+        with self._cond:
+            self._queue.append(env)
+            self._cond.notify_all()
+
+    def abort(self, reason: str) -> None:
+        """Poison the mailbox: all pending/future matches raise."""
+        with self._cond:
+            self._aborted = reason
+            self._cond.notify_all()
+
+    def _find(self, source: int, tag: int) -> Envelope | None:
+        for i, env in enumerate(self._queue):
+            if (source == -1 or env.source == source) and (tag == -1 or env.tag == tag):
+                del self._queue[i]
+                return env
+        return None
+
+    def match(self, source: int, tag: int, timeout: float | None) -> Envelope:
+        """Block until a matching envelope arrives (wildcards: -1)."""
+        with self._cond:
+            while True:
+                if self._aborted is not None:
+                    raise RuntimeAbort(self._aborted)
+                env = self._find(source, tag)
+                if env is not None:
+                    return env
+                if not self._cond.wait(timeout=timeout):
+                    raise CommunicatorError(
+                        f"rank {self.owner_rank}: recv(source={source}, tag={tag}) "
+                        f"timed out after {timeout}s (deadlock?)"
+                    )

@@ -1,0 +1,201 @@
+"""Thread-based SPMD runtime: every rank is a Python thread.
+
+This is the testing substrate for the communication *algorithms*
+(pairwise ring, OSC ring, compression pipeline): real concurrency, real
+blocking semantics, real data movement through shared memory.  NumPy
+copies release the GIL, so ranks genuinely overlap on large buffers.
+
+Usage::
+
+    def kernel(comm, n):
+        data = np.full(n, comm.rank, dtype=np.float64)
+        return comm.alltoallv([data] * comm.size)
+
+    results = run_spmd(4, kernel, 1024)   # list of per-rank returns
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.errors import CommunicatorError, RuntimeAbort
+from repro.runtime.base import ANY_SOURCE, ANY_TAG, Comm, Request
+from repro.runtime.mailbox import Envelope, Mailbox
+from repro.runtime.window import Window
+
+__all__ = ["ThreadWorld", "ThreadComm", "run_spmd"]
+
+#: Default blocking-op timeout — generous, but converts deadlocks into errors.
+DEFAULT_TIMEOUT = 120.0
+
+
+class ThreadWorld:
+    """Shared state of one SPMD execution (mailboxes, barrier, windows)."""
+
+    def __init__(self, nranks: int, *, timeout: float = DEFAULT_TIMEOUT) -> None:
+        if nranks < 1:
+            raise CommunicatorError(f"nranks must be >= 1, got {nranks}")
+        self.nranks = nranks
+        self.timeout = timeout
+        self.mailboxes = [Mailbox(r) for r in range(nranks)]
+        self._barrier = threading.Barrier(nranks)
+        self._win_lock = threading.Lock()
+        self._win_registry: dict[int, list[Any]] = {}
+        self._win_counter: dict[int, int] = {}
+        self._abort_reason: str | None = None
+
+    # -- abort handling ----------------------------------------------------------
+
+    def abort(self, reason: str) -> None:
+        """Poison every blocking primitive so all ranks unwind promptly."""
+        self._abort_reason = reason
+        self._barrier.abort()
+        for mb in self.mailboxes:
+            mb.abort(reason)
+
+    def check_abort(self) -> None:
+        if self._abort_reason is not None:
+            raise RuntimeAbort(self._abort_reason)
+
+    def barrier_wait(self) -> None:
+        self.check_abort()
+        try:
+            self._barrier.wait(timeout=self.timeout)
+        except threading.BrokenBarrierError:
+            self.check_abort()
+            raise CommunicatorError("barrier broken (timeout or aborted peer)") from None
+
+    # -- collective window creation ------------------------------------------------
+
+    def create_window(self, comm: "ThreadComm", nbytes: int) -> Window:
+        """Collective: every rank contributes its exposed buffer size."""
+        rank = comm.rank
+        with self._win_lock:
+            win_id = self._win_counter.get(rank, 0)
+            self._win_counter[rank] = win_id + 1
+            slot = self._win_registry.setdefault(win_id, [None] * self.nranks)
+            slot[rank] = np.zeros(max(0, int(nbytes)), dtype=np.uint8)
+        self.barrier_wait()  # all contributions visible
+        with self._win_lock:
+            entry = self._win_registry[win_id]
+            buffers = list(entry)
+            locks_key = ("locks", win_id)
+            locks = self._win_registry.get(locks_key)  # type: ignore[arg-type]
+            if locks is None:
+                locks = [threading.Lock() for _ in range(self.nranks)]
+                self._win_registry[locks_key] = locks  # type: ignore[index]
+        return Window(self, comm, buffers, locks)
+
+    # -- execution -------------------------------------------------------------------
+
+    def run(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> list[Any]:
+        """Run ``fn(comm, *args, **kwargs)`` on every rank; gather returns.
+
+        The first exception raised by any rank aborts the world and is
+        re-raised (with rank annotation) in the caller.
+        """
+        results: list[Any] = [None] * self.nranks
+        errors: list[tuple[int, BaseException]] = []
+        err_lock = threading.Lock()
+
+        def body(rank: int) -> None:
+            comm = ThreadComm(self, rank)
+            try:
+                results[rank] = fn(comm, *args, **kwargs)
+            except BaseException as exc:  # noqa: BLE001 - must not hang peers
+                with err_lock:
+                    errors.append((rank, exc))
+                self.abort(f"rank {rank} raised {type(exc).__name__}: {exc}")
+
+        threads = [
+            threading.Thread(target=body, args=(r,), name=f"spmd-rank-{r}", daemon=True)
+            for r in range(self.nranks)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=self.timeout * 2)
+            if t.is_alive():
+                self.abort("join timeout")
+                raise CommunicatorError(f"{t.name} failed to finish (deadlock?)")
+        if errors:
+            # An aborting rank makes its peers unwind with RuntimeAbort /
+            # broken-barrier errors; surface the *root cause* instead of
+            # whichever echo happened to come from the lowest rank.
+            def is_echo(exc: BaseException) -> bool:
+                return isinstance(exc, RuntimeAbort) or (
+                    isinstance(exc, CommunicatorError) and "barrier broken" in str(exc)
+                )
+
+            originals = [(r, e) for r, e in errors if not is_echo(e)]
+            _, exc = sorted(originals or errors, key=lambda e: e[0])[0]
+            raise exc
+        return results
+
+
+class ThreadComm(Comm):
+    """Per-thread communicator handle."""
+
+    def __init__(self, world: ThreadWorld, rank: int) -> None:
+        self.world = world
+        self.rank = rank
+        self.size = world.nranks
+
+    # -- point to point -------------------------------------------------------------
+
+    def send(self, data: np.ndarray, dest: int, tag: int = 0) -> None:
+        self.world.check_abort()
+        self._check_rank(dest)
+        payload = np.ascontiguousarray(data).copy()  # buffered semantics
+        self.world.mailboxes[dest].post(Envelope(self.rank, tag, payload))
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> np.ndarray:
+        if source != ANY_SOURCE:
+            self._check_rank(source)
+        env = self.world.mailboxes[self.rank].match(source, tag, self.world.timeout)
+        return env.payload
+
+    def isend(self, data: np.ndarray, dest: int, tag: int = 0) -> Request:
+        self.send(data, dest, tag)  # eager buffered: completes on post
+        return Request(lambda timeout: None)
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
+        if source != ANY_SOURCE:
+            self._check_rank(source)
+        mailbox = self.world.mailboxes[self.rank]
+        world = self.world
+
+        def complete(timeout: float | None) -> np.ndarray:
+            return mailbox.match(source, tag, timeout or world.timeout).payload
+
+        return Request(complete)
+
+    # -- collectives ------------------------------------------------------------------
+
+    def barrier(self) -> None:
+        self.world.barrier_wait()
+
+    # -- one sided ---------------------------------------------------------------------
+
+    def win_create(self, nbytes: int) -> Window:
+        return self.world.create_window(self, nbytes)
+
+    # -- misc ---------------------------------------------------------------------------
+
+    def abort(self, msg: str = "user abort") -> None:
+        self.world.abort(f"rank {self.rank}: {msg}")
+        raise RuntimeAbort(msg)
+
+
+def run_spmd(
+    nranks: int,
+    fn: Callable[..., Any],
+    *args: Any,
+    timeout: float = DEFAULT_TIMEOUT,
+    **kwargs: Any,
+) -> list[Any]:
+    """One-shot helper: build a :class:`ThreadWorld` and run ``fn`` on it."""
+    return ThreadWorld(nranks, timeout=timeout).run(fn, *args, **kwargs)

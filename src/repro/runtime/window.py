@@ -1,0 +1,208 @@
+"""One-sided (RMA) windows for the thread runtime (Section V-A).
+
+Mirrors the MPI-3 RMA model the paper's ``OSC_Alltoall`` relies on:
+
+* a window is created *collectively*, exposing a local byte buffer of
+  each rank to every other rank;
+* ``put`` writes into a remote rank's exposed buffer; it is, like
+  ``MPI_Win_put``, usable inside an epoch delimited by ``fence`` calls
+  (active target) or ``lock``/``unlock`` (passive target);
+* ``fence`` completes all outstanding operations *and* synchronises —
+  "the global synchronization needed to ensure all communication in the
+  window are now completed at both the origin and the target" (Alg. 3
+  line 11);
+* window creation "is a collective operation and therefore has a high
+  cost", so windows are cacheable: see
+  :meth:`~repro.collectives.osc.OscAlltoallv` which reuses them across
+  repeated exchanges.
+
+Implementation notes: in a threaded address space a put is a locked
+``memcpy`` into the target's buffer.  Per-target mutexes prevent torn
+writes when two origins touch the same target concurrently (MPI leaves
+overlapping puts undefined; we keep them merely atomic per call).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.errors import WindowError
+
+__all__ = ["Window"]
+
+
+class Window:
+    """Per-rank handle on a collectively-created RMA window."""
+
+    def __init__(self, world: "ThreadWorld", comm, buffers: list[np.ndarray], locks: list[threading.Lock]) -> None:  # noqa: F821
+        self._world = world
+        self._comm = comm
+        self._buffers = buffers
+        self._locks = locks
+        self._freed = False
+        self._epoch_open = False
+        self._held: set[int] = set()
+
+    # -- local access -----------------------------------------------------------
+
+    def local_view(self) -> np.ndarray:
+        """The calling rank's exposed buffer (uint8 view, zero copy)."""
+        self._check_alive()
+        return self._buffers[self._comm.rank]
+
+    # -- epochs ------------------------------------------------------------------
+
+    def fence(self) -> None:
+        """Active-target synchronisation: completes all ops, barriers."""
+        self._check_alive()
+        self._epoch_open = not self._epoch_open
+        self._comm.barrier()
+
+    def lock(self, rank: int) -> None:
+        """Open a passive-target epoch on ``rank`` (exclusive)."""
+        self._check_alive()
+        self._comm._check_rank(rank)
+        if rank in self._held:
+            raise WindowError(f"lock({rank}) while already held")
+        self._locks[rank].acquire()
+        self._held.add(rank)
+
+    def unlock(self, rank: int) -> None:
+        """Close the passive-target epoch on ``rank``."""
+        self._check_alive()
+        if rank not in self._held:
+            raise WindowError(f"unlock({rank}) without a matching lock")
+        self._held.discard(rank)
+        self._locks[rank].release()
+
+    def flush(self, rank: int | None = None) -> None:
+        """Complete outstanding puts to ``rank`` (all ranks when None).
+
+        Puts in this runtime complete synchronously inside :meth:`put`,
+        so flush is a semantic no-op kept for API fidelity — algorithms
+        written against it stay correct on a real asynchronous MPI.
+        """
+        self._check_alive()
+
+    # -- data movement -------------------------------------------------------------
+
+    def put(self, data: np.ndarray, target_rank: int, offset: int = 0) -> None:
+        """Write ``data`` (bytes) into ``target_rank``'s buffer at ``offset``."""
+        self._check_alive()
+        self._comm._check_rank(target_rank)
+        raw = np.ascontiguousarray(data).view(np.uint8).reshape(-1)
+        target = self._buffers[target_rank]
+        if offset < 0 or offset + raw.size > target.size:
+            raise WindowError(
+                f"put of {raw.size} B at offset {offset} exceeds window "
+                f"size {target.size} on rank {target_rank}"
+            )
+        held = target_rank in self._held
+        lock = self._locks[target_rank]
+        if not held:
+            lock.acquire()
+        try:
+            target[offset : offset + raw.size] = raw
+        finally:
+            if not held:
+                lock.release()
+
+    def accumulate(
+        self,
+        data: np.ndarray,
+        target_rank: int,
+        offset: int = 0,
+        *,
+        op: str = "sum",
+        dtype: np.dtype | None = None,
+    ) -> None:
+        """Atomic read-modify-write into the target buffer (``MPI_Accumulate``).
+
+        ``data`` is combined element-wise with the target region using
+        ``op`` (``"sum"``, ``"max"``, ``"min"``, ``"replace"``).  The
+        element type defaults to ``data.dtype``; the byte ``offset``
+        must be aligned to it.  Unlike :meth:`put`, concurrent
+        accumulates to the same location are well-defined (MPI
+        guarantees per-element atomicity; we lock the whole call).
+        """
+        self._check_alive()
+        self._comm._check_rank(target_rank)
+        src = np.ascontiguousarray(data)
+        dt = np.dtype(dtype) if dtype is not None else src.dtype
+        if offset % dt.itemsize:
+            raise WindowError(f"offset {offset} not aligned to {dt}")
+        nbytes = src.nbytes
+        target = self._buffers[target_rank]
+        if offset < 0 or offset + nbytes > target.size:
+            raise WindowError(
+                f"accumulate of {nbytes} B at offset {offset} exceeds window "
+                f"size {target.size} on rank {target_rank}"
+            )
+        ops = {
+            "sum": np.add,
+            "max": np.maximum,
+            "min": np.minimum,
+        }
+        if op not in ops and op != "replace":
+            raise WindowError(f"unknown accumulate op {op!r}")
+        held = target_rank in self._held
+        lock = self._locks[target_rank]
+        if not held:
+            lock.acquire()
+        try:
+            region = target[offset : offset + nbytes].view(dt)
+            flat = src.view(dt).reshape(-1)
+            if op == "replace":
+                region[...] = flat
+            else:
+                region[...] = ops[op](region, flat)
+        finally:
+            if not held:
+                lock.release()
+
+    def lock_all(self) -> None:
+        """Open a passive-target epoch on every rank (``MPI_Win_lock_all``)."""
+        self._check_alive()
+        for rank in range(self._comm.size):
+            if rank not in self._held:
+                self.lock(rank)
+
+    def unlock_all(self) -> None:
+        """Close the epoch opened by :meth:`lock_all`."""
+        self._check_alive()
+        for rank in sorted(self._held):
+            self.unlock(rank)
+
+    def get(self, nbytes: int, target_rank: int, offset: int = 0) -> np.ndarray:
+        """Read ``nbytes`` from ``target_rank``'s buffer at ``offset``."""
+        self._check_alive()
+        self._comm._check_rank(target_rank)
+        source = self._buffers[target_rank]
+        if offset < 0 or offset + nbytes > source.size:
+            raise WindowError(
+                f"get of {nbytes} B at offset {offset} exceeds window "
+                f"size {source.size} on rank {target_rank}"
+            )
+        held = target_rank in self._held
+        lock = self._locks[target_rank]
+        if not held:
+            lock.acquire()
+        try:
+            return source[offset : offset + nbytes].copy()
+        finally:
+            if not held:
+                lock.release()
+
+    # -- lifecycle -------------------------------------------------------------------
+
+    def free(self) -> None:
+        """Collectively release the window."""
+        self._check_alive()
+        self._comm.barrier()
+        self._freed = True
+
+    def _check_alive(self) -> None:
+        if self._freed:
+            raise WindowError("window already freed")

@@ -1,0 +1,25 @@
+"""Spectral PDE solver built on the approximate FFT (Algorithm 2).
+
+The paper motivates approximate FFTs with spectral solvers: solving
+``-Δu + u = f`` on a periodic box costs one forward FFT, a pointwise
+scale, and one inverse FFT — and both transforms may be as sloppy as the
+discretisation error already is (Section III's balancing argument).
+
+* :class:`~repro.solvers.spectral.SpectralPoissonSolver` — Algorithm 2
+  on the (virtually) distributed :class:`~repro.fft.plan.Fft3d`;
+* :mod:`~repro.solvers.refinement` — a-posteriori error estimation on
+  grid pairs ("similar to techniques used in FEM methods") and the
+  tolerance-balancing helper that feeds ``e_tol`` to the FFT.
+"""
+
+from repro.solvers.ir import RefinementResult, refine_poisson
+from repro.solvers.refinement import estimate_discretization_error, solve_with_balanced_tolerance
+from repro.solvers.spectral import SpectralPoissonSolver
+
+__all__ = [
+    "SpectralPoissonSolver",
+    "estimate_discretization_error",
+    "solve_with_balanced_tolerance",
+    "refine_poisson",
+    "RefinementResult",
+]

@@ -1,0 +1,113 @@
+"""Mixed-precision iterative refinement on the spectral solver.
+
+Section I motivates the whole paper with mixed-precision iterative
+refinement [Haidar et al. SC'18]: do the expensive operator apply in low
+precision, then refine the residual in high precision until the FP64
+answer comes back.  Here the "factorisation" is our approximate FFT
+solve: each inner solve runs with aggressively compressed reshapes
+(cheap), and the FP64 outer loop recovers full accuracy in a handful of
+iterations — compression rate 4 on every exchange *and* an FP64-quality
+answer, the best of both columns of Table II.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.compression.base import Codec
+from repro.compression.truncation import CastCodec
+from repro.errors import ToleranceError
+from repro.solvers.spectral import SpectralPoissonSolver
+
+__all__ = ["RefinementResult", "refine_poisson"]
+
+
+@dataclass
+class RefinementResult:
+    """Convergence record of one refinement solve."""
+
+    solution: np.ndarray
+    residual_history: list[float] = field(default_factory=list)
+
+    @property
+    def iterations(self) -> int:
+        return max(0, len(self.residual_history) - 1)
+
+    @property
+    def converged(self) -> bool:
+        return bool(self.residual_history) and self.residual_history[-1] <= self.tol
+
+    tol: float = 0.0
+
+
+def refine_poisson(
+    f: np.ndarray,
+    shape: tuple[int, int, int],
+    *,
+    nranks: int = 1,
+    inner_codec: Codec | None = None,
+    tol: float = 1e-12,
+    max_iter: int = 25,
+    length: float = 2.0 * np.pi,
+) -> RefinementResult:
+    """Solve ``-Δu + u = f`` to FP64 accuracy via low-precision inner solves.
+
+    Parameters
+    ----------
+    f:
+        Sampled right-hand side on the ``shape`` grid.
+    inner_codec:
+        Compression used inside the inner solver's FFTs (default: the
+        paper's rate-4 ``FP64->FP16`` truncation with block scaling).
+    tol:
+        Target relative residual ``||f - A u|| / ||f||``.
+    max_iter:
+        Refinement iteration cap; :class:`~repro.errors.ToleranceError`
+        if exhausted without converging.
+
+    Notes
+    -----
+    Classic iterative refinement: ``r = f - A u``; ``du = solve(r)`` in
+    low precision; ``u += du``.  The inner solve contracts the error by
+    roughly the codec's relative error per iteration, so FP16-grade
+    compression converges in ~4-5 iterations to 1e-12.
+    """
+    f = np.asarray(f, dtype=np.float64)
+    if inner_codec is None:
+        inner_codec = CastCodec("fp16", scaled=True)
+    inner = SpectralPoissonSolver(shape, nranks, length=length, codec=inner_codec)
+    exact_op = SpectralPoissonSolver(shape, nranks, length=length)  # residuals in FP64
+
+    fnorm = float(np.linalg.norm(f))
+    if fnorm == 0.0:
+        return RefinementResult(np.zeros(shape), [0.0], tol=tol)
+
+    u = np.zeros(shape, dtype=np.float64)
+    result = RefinementResult(u, tol=tol)
+
+    def residual(u: np.ndarray) -> np.ndarray:
+        u_hat = np.fft.fftn(u)
+        au = np.real(np.fft.ifftn(exact_op._symbol * u_hat))
+        return f - au
+
+    r = residual(u)
+    result.residual_history.append(float(np.linalg.norm(r)) / fnorm)
+    for _ in range(max_iter):
+        if result.residual_history[-1] <= tol:
+            result.solution = u
+            return result
+        du = inner.solve(r)  # low-precision (compressed) inner solve
+        u = u + du
+        r = residual(u)
+        result.residual_history.append(float(np.linalg.norm(r)) / fnorm)
+
+    if result.residual_history[-1] <= tol:
+        result.solution = u
+        return result
+    raise ToleranceError(
+        f"iterative refinement did not reach {tol:g} in {max_iter} iterations "
+        f"(last residual {result.residual_history[-1]:.3e}); the inner codec "
+        "may be too lossy to contract"
+    )

@@ -1,0 +1,37 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.machine.spec import MachineSpec, laptop_spec, summit_spec
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG; tests derive all randomness from it."""
+    return np.random.default_rng(20220905)
+
+
+@pytest.fixture
+def summit() -> MachineSpec:
+    return summit_spec()
+
+
+@pytest.fixture
+def laptop() -> MachineSpec:
+    return laptop_spec()
+
+
+@pytest.fixture
+def random_complex(rng) -> np.ndarray:
+    """A well-scaled complex128 message (the FFT wire payload dtype)."""
+    return (rng.random(4096) - 0.5 + 1j * (rng.random(4096) - 0.5)).astype(np.complex128)
+
+
+@pytest.fixture
+def smooth_field() -> np.ndarray:
+    """A spatially-correlated field (where transform codecs shine)."""
+    t = np.linspace(0.0, 6.0 * np.pi, 8192)
+    return np.sin(t) + 0.25 * np.cos(3.0 * t) + 0.05 * np.sin(11.0 * t)

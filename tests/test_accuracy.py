@@ -1,0 +1,112 @@
+"""Tests for error bounds, metrics and the Fig. 2 analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.accuracy import (
+    ErrorDecomposition,
+    dft_roundoff_bound,
+    fft_roundoff_bound,
+    mantissa_sweep,
+    rel_error,
+    truncation_error_model,
+)
+from repro.errors import ModelError, ToleranceError
+
+
+class TestBounds:
+    def test_fft_beats_dft(self):
+        for n in (64, 1024, 4096):
+            assert fft_roundoff_bound(n) < dft_roundoff_bound(n)
+
+    def test_bound_grows_with_n(self):
+        assert fft_roundoff_bound(2048) > fft_roundoff_bound(256)
+
+    def test_pow2_bound_scales_with_log(self):
+        # N = 2^k: bound = 1.06 * k * 4^(3/2) * eps, linear in k
+        b10 = fft_roundoff_bound(2**10)
+        b20 = fft_roundoff_bound(2**20)
+        assert b20 == pytest.approx(2 * b10, rel=1e-9)
+
+    def test_paper_exponent_variant(self):
+        """The paper prints (2N)^{2/3}; provided for comparison."""
+        assert fft_roundoff_bound(1024, exponent=2 / 3) < fft_roundoff_bound(1024)
+
+    def test_invalid_n(self):
+        with pytest.raises(ModelError):
+            fft_roundoff_bound(0)
+
+    def test_truncation_model_monotone(self):
+        errs = [truncation_error_model(m, 8) for m in (48, 36, 24, 12)]
+        assert all(a < b for a, b in zip(errs, errs[1:]))
+
+    def test_truncation_model_scales_with_events(self):
+        assert truncation_error_model(23, 8) == pytest.approx(8 * truncation_error_model(23, 1))
+
+    def test_truncation_model_validation(self):
+        with pytest.raises(ModelError):
+            truncation_error_model(0)
+        with pytest.raises(ModelError):
+            truncation_error_model(23, -1)
+
+
+class TestRelError:
+    def test_zero_cases(self):
+        assert rel_error(np.zeros(3), np.zeros(3)) == 0.0
+        assert rel_error(np.ones(3), np.ones(3)) == 0.0
+
+    def test_norm_choice(self):
+        x, y = np.array([1.0, 0.0]), np.array([0.0, 0.0])
+        assert rel_error(x, y, ord=np.inf) == 1.0
+
+
+class TestMantissaSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        rng = np.random.default_rng(7)
+        return mantissa_sweep(
+            (16, 16, 16), 4, rng.random((16, 16, 16)), mantissa_bits=[52, 40, 32, 23]
+        )
+
+    def test_monotone_error_growth(self, sweep):
+        """Fig. 2: fewer mantissa bits, larger error."""
+        trimmed = [p for p in sweep if p.label.startswith("m=")]
+        errs = [p.error for p in trimmed]
+        assert all(a <= b * 1.001 for a, b in zip(errs, errs[1:]))
+
+    def test_endpoints_match_machine_precisions(self, sweep):
+        by_label = {p.label: p for p in sweep}
+        assert by_label["m=52"].error < 1e-14  # FP64 level
+        assert 1e-9 < by_label["m=23"].error < 1e-6  # FP32 level
+
+    def test_mixed_point_beats_fp32_reference(self, sweep):
+        """Fig. 2: MP 64/32 sits below the all-FP32 execution."""
+        by_label = {p.label: p for p in sweep}
+        assert by_label["MP 64/32"].error < by_label["FP32"].error
+
+    def test_theoretical_acceleration(self, sweep):
+        by_label = {p.label: p for p in sweep}
+        assert by_label["m=52"].theoretical_acceleration == 1.0
+        assert by_label["MP 64/32"].theoretical_acceleration == 2.0
+        assert by_label["m=23"].theoretical_acceleration == pytest.approx(64 / 35)
+
+    def test_bad_bits_rejected(self, rng):
+        with pytest.raises(ToleranceError):
+            mantissa_sweep((8, 8, 8), 2, rng.random((8, 8, 8)), mantissa_bits=[60])
+
+
+class TestErrorDecomposition:
+    def test_total_bound(self):
+        d = ErrorDecomposition(discretisation=1e-5, roundoff=1e-7)
+        assert d.total_bound == pytest.approx(2e-5)
+
+    def test_balanced_detection(self):
+        assert ErrorDecomposition(1e-5, 5e-6).balanced
+        assert not ErrorDecomposition(1e-5, 1e-12).balanced
+
+    def test_suggested_tolerance(self):
+        assert ErrorDecomposition(1e-5, 0.0).suggested_e_tol() == 1e-5
+        with pytest.raises(ToleranceError):
+            ErrorDecomposition(0.0, 1e-7).suggested_e_tol()

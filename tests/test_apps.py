@@ -1,0 +1,140 @@
+"""Tests for the application kernels: convolution and PME."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy.signal import fftconvolve
+
+from repro.apps import DistributedConvolution, PmeSolver
+from repro.compression import CastCodec
+from repro.errors import PlanError
+
+
+class TestConvolution:
+    def test_periodic_matches_fftn(self, rng):
+        s = rng.random((16, 16, 16))
+        k = rng.random((16, 16, 16))
+        conv = DistributedConvolution((16, 16, 16), 4)
+        ref = np.real(np.fft.ifftn(np.fft.fftn(s) * np.fft.fftn(k)))
+        got = conv.convolve(s, k)
+        assert np.allclose(got, ref, atol=1e-10)
+
+    def test_linear_matches_scipy(self, rng):
+        s = rng.random((12, 10, 8))
+        k = rng.random((5, 4, 3))
+        conv = DistributedConvolution((12, 10, 8), 2, mode="linear", kernel_shape=(5, 4, 3))
+        got = conv.convolve(s, k)
+        ref = fftconvolve(s, k)
+        assert got.shape == ref.shape
+        assert np.allclose(got, ref, atol=1e-10)
+
+    def test_identity_kernel(self, rng):
+        s = rng.random((8, 8, 8))
+        delta = np.zeros((8, 8, 8))
+        delta[0, 0, 0] = 1.0
+        conv = DistributedConvolution((8, 8, 8), 2)
+        assert np.allclose(conv.convolve(s, delta), s, atol=1e-12)
+
+    def test_compressed_convolution_error(self, rng):
+        s = rng.random((16, 16, 16))
+        k = rng.random((16, 16, 16))
+        exact = DistributedConvolution((16, 16, 16), 4).convolve(s, k)
+        approx = DistributedConvolution((16, 16, 16), 4, codec=CastCodec("fp32")).convolve(s, k)
+        rel = np.linalg.norm(approx - exact) / np.linalg.norm(exact)
+        assert 0 < rel < 1e-6
+
+    def test_for_tolerance(self, rng):
+        s = rng.random((16, 16, 16))
+        k = rng.random((16, 16, 16))
+        exact = DistributedConvolution((16, 16, 16), 2).convolve(s, k)
+        for e_tol in (1e-4, 1e-7):
+            conv = DistributedConvolution.for_tolerance((16, 16, 16), e_tol, nranks=2)
+            got = conv.convolve(s, k)
+            assert np.linalg.norm(got - exact) / np.linalg.norm(exact) < e_tol
+
+    def test_validation(self, rng):
+        with pytest.raises(PlanError):
+            DistributedConvolution((8, 8, 8), 2, mode="donut")
+        with pytest.raises(PlanError):
+            DistributedConvolution((8, 8, 8), 2, mode="linear")  # no kernel_shape
+        conv = DistributedConvolution((8, 8, 8), 2)
+        with pytest.raises(PlanError):
+            conv.convolve(rng.random((4, 4, 4)), rng.random((8, 8, 8)))
+        lin = DistributedConvolution((8, 8, 8), 2, mode="linear", kernel_shape=(3, 3, 3))
+        with pytest.raises(PlanError):
+            lin.convolve(rng.random((8, 8, 8)), rng.random((4, 4, 4)))
+
+
+class TestPme:
+    @pytest.fixture(scope="class")
+    def dipole(self):
+        positions = np.array([[3.0, 5.0, 5.0], [7.0, 5.0, 5.0]])
+        charges = np.array([1.0, -1.0])
+        return positions, charges
+
+    def test_charge_spreading_conserves_charge(self, rng):
+        pme = PmeSolver((16, 16, 16), 10.0)
+        pos = rng.random((20, 3)) * 10.0
+        q = rng.standard_normal(20)
+        rho = pme.spread_charges(pos, q)
+        cell_volume = (10.0 / 16) ** 3
+        assert rho.sum() * cell_volume == pytest.approx(q.sum(), abs=1e-12)
+
+    def test_gather_inverts_constant_field(self, rng):
+        pme = PmeSolver((8, 8, 8), 4.0)
+        field = np.full((8, 8, 8), 3.5)
+        pos = rng.random((10, 3)) * 4.0
+        assert np.allclose(pme.gather_field(field, pos), 3.5)
+
+    def test_opposite_charges_attract(self, dipole):
+        pos, q = dipole
+        res = PmeSolver((16, 16, 16), 10.0, alpha=1.5).solve(pos, q)
+        # positive charge at x=3 is pulled toward the negative at x=7
+        assert res.forces[0, 0] > 0 and res.forces[1, 0] < 0
+        # symmetry: equal and opposite
+        assert res.forces[0, 0] == pytest.approx(-res.forces[1, 0], rel=1e-6)
+
+    def test_forces_sum_to_zero(self, rng):
+        pme = PmeSolver((16, 16, 16), 10.0, alpha=1.5)
+        pos = rng.random((12, 3)) * 10.0
+        q = rng.standard_normal(12)
+        q -= q.mean()
+        res = pme.solve(pos, q)
+        assert np.allclose(res.forces.sum(axis=0), 0.0, atol=1e-8)
+
+    def test_energy_scale_invariance(self, dipole):
+        """Doubling all charges quadruples the reciprocal energy."""
+        pos, q = dipole
+        pme = PmeSolver((16, 16, 16), 10.0, alpha=1.5)
+        e1 = pme.solve(pos, q).energy
+        e2 = pme.solve(pos, 2 * q).energy
+        assert e2 == pytest.approx(4 * e1, rel=1e-10)
+
+    def test_mesh_convergence(self, dipole):
+        """Finer meshes converge to a stable reciprocal energy."""
+        pos, q = dipole
+        energies = [
+            PmeSolver((m, m, m), 10.0, alpha=1.2).solve(pos, q).energy for m in (8, 16, 32)
+        ]
+        assert abs(energies[2] - energies[1]) < abs(energies[1] - energies[0])
+
+    def test_compressed_solve_close(self, dipole):
+        pos, q = dipole
+        exact = PmeSolver((16, 16, 16), 10.0, alpha=1.5, nranks=4).solve(pos, q)
+        comp = PmeSolver(
+            (16, 16, 16), 10.0, alpha=1.5, nranks=4, codec=CastCodec("fp32")
+        ).solve(pos, q)
+        assert comp.energy == pytest.approx(exact.energy, rel=1e-5)
+        assert np.allclose(comp.forces, exact.forces, rtol=1e-3, atol=1e-8)
+
+    def test_validation(self):
+        with pytest.raises(PlanError):
+            PmeSolver((2, 2, 2), 10.0)
+        with pytest.raises(PlanError):
+            PmeSolver((8, 8, 8), -1.0)
+        pme = PmeSolver((8, 8, 8), 10.0)
+        with pytest.raises(PlanError):
+            pme.spread_charges(np.zeros((3, 2)), np.zeros(3))
+        with pytest.raises(PlanError):
+            pme.spread_charges(np.zeros((3, 3)), np.zeros(4))

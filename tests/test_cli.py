@@ -1,0 +1,33 @@
+"""Tests for the `python -m repro` experiment CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out and "FP64" in out
+
+    def test_fig3(self, capsys):
+        assert main(["fig3"]) == 0
+        out = capsys.readouterr().out
+        assert "OSC_Alltoall" in out
+
+    def test_fig2_quick(self, capsys):
+        assert main(["fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "MP 64/32" in out
+
+    def test_table2_quick(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "FP64->FP32" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig9"])

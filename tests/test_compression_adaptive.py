@@ -1,0 +1,99 @@
+"""Tests for per-stage codec schedules (our Section-IV extension)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compression import (
+    CastCodec,
+    MantissaTrimCodec,
+    StagedCodecSchedule,
+    schedule_for_tolerance,
+)
+from repro.errors import PlanError, ToleranceError
+from repro.fft import Fft3d
+
+
+class TestSchedule:
+    def test_construction(self):
+        sched = StagedCodecSchedule((CastCodec("fp32"),) * 4)
+        assert len(sched) == 4
+        assert sched.codec_for_stage(2).name == "cast_fp32"
+        assert sched.mean_rate == pytest.approx(2.0)
+
+    def test_stage_bounds(self):
+        sched = StagedCodecSchedule((CastCodec("fp32"),))
+        with pytest.raises(ToleranceError):
+            sched.codec_for_stage(1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ToleranceError):
+            StagedCodecSchedule(())
+
+    def test_mixed_rates(self):
+        sched = StagedCodecSchedule((MantissaTrimCodec(20), MantissaTrimCodec(44)))
+        assert 1.0 < sched.mean_rate < 2.0
+
+
+class TestScheduleForTolerance:
+    def test_quadrature_saves_bits_vs_linear(self):
+        quad = schedule_for_tolerance(1e-6, accumulation="quadrature")
+        lin = schedule_for_tolerance(1e-6, accumulation="linear")
+        assert quad.mean_rate >= lin.mean_rate
+        m_quad = quad.codec_for_stage(0).mantissa_bits
+        m_lin = lin.codec_for_stage(0).mantissa_bits
+        assert m_quad <= m_lin
+
+    def test_validation(self):
+        with pytest.raises(ToleranceError):
+            schedule_for_tolerance(0.0)
+        with pytest.raises(ToleranceError):
+            schedule_for_tolerance(1e-6, n_stages=0)
+        with pytest.raises(ToleranceError):
+            schedule_for_tolerance(1e-6, accumulation="vibes")
+
+
+class TestScheduleInFft:
+    def test_schedule_meets_total_tolerance(self, rng):
+        x = rng.random((16, 16, 16))
+        for e_tol in (1e-4, 1e-7, 1e-10):
+            sched = schedule_for_tolerance(e_tol)
+            plan = Fft3d((16, 16, 16), 4, codec_schedule=sched)
+            assert plan.roundtrip_error(x) < e_tol
+
+    def test_quadrature_budget_ships_fewer_bytes(self, rng):
+        """The whole point: the RMS model buys compression."""
+        x = rng.random((16, 16, 16))
+        e_tol = 1e-7
+        quad = Fft3d((16, 16, 16), 4, codec_schedule=schedule_for_tolerance(e_tol))
+        lin = Fft3d(
+            (16, 16, 16), 4, codec_schedule=schedule_for_tolerance(e_tol, accumulation="linear")
+        )
+        assert quad.roundtrip_error(x) < e_tol
+        assert lin.roundtrip_error(x) < e_tol
+        assert quad.last_stats.wire_bytes <= lin.last_stats.wire_bytes
+
+    def test_heterogeneous_stages(self, rng):
+        sched = StagedCodecSchedule(
+            (MantissaTrimCodec(40), MantissaTrimCodec(30), MantissaTrimCodec(30), MantissaTrimCodec(40))
+        )
+        plan = Fft3d((16, 16, 16), 4, codec_schedule=sched)
+        x = rng.random((16, 16, 16))
+        assert plan.roundtrip_error(x) < 1e-7
+        # per-stage stats reflect the heterogeneous rates
+        rates = [r.achieved_rate for r in plan.last_stats.reshapes]
+        assert rates[0] < rates[1]
+
+    def test_wrong_stage_count_rejected(self):
+        with pytest.raises(PlanError):
+            Fft3d((8, 8, 8), 2, codec_schedule=StagedCodecSchedule((CastCodec("fp32"),)))
+
+    def test_exclusive_with_codec(self):
+        with pytest.raises(PlanError):
+            Fft3d(
+                (8, 8, 8),
+                2,
+                codec=CastCodec("fp32"),
+                codec_schedule=schedule_for_tolerance(1e-6),
+            )

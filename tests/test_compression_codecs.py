@@ -1,0 +1,224 @@
+"""Tests for the codec family: identity, cast, mantissa-trim, lossless."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.compression import (
+    CastCodec,
+    IdentityCodec,
+    MantissaTrimCodec,
+    ShuffleZlibCodec,
+    evaluate_codec,
+)
+from repro.compression.base import CompressedMessage
+from repro.compression.metrics import max_abs_error, rel_l2_error
+from repro.errors import CompressionError
+
+well_scaled = hnp.arrays(
+    np.float64,
+    st.integers(min_value=1, max_value=300),
+    elements=st.floats(min_value=-1e4, max_value=1e4, allow_nan=False, width=64),
+)
+
+
+class TestIdentityCodec:
+    def test_bitexact_roundtrip(self, random_complex):
+        codec = IdentityCodec()
+        msg = codec.compress(random_complex)
+        back = codec.decompress(msg)
+        assert np.array_equal(back, random_complex)
+        assert back.dtype == np.complex128
+
+    def test_rate_and_size(self, random_complex):
+        codec = IdentityCodec()
+        msg = codec.compress(random_complex)
+        assert msg.nbytes == random_complex.nbytes
+        assert msg.achieved_rate == 1.0
+        assert codec.compressed_nbytes(100) == 800
+
+    def test_preserves_shape(self, rng):
+        x = rng.random((4, 5, 6))
+        codec = IdentityCodec()
+        assert codec.decompress(codec.compress(x)).shape == (4, 5, 6)
+
+    def test_codec_mismatch_rejected(self, rng):
+        msg = IdentityCodec().compress(rng.random(8))
+        with pytest.raises(CompressionError, match="produced by"):
+            CastCodec("fp32").decompress(msg)
+
+    def test_rejects_wrong_dtype(self):
+        with pytest.raises(CompressionError):
+            IdentityCodec().compress(np.arange(4, dtype=np.int32))
+
+
+class TestCastCodec:
+    def test_fp32_rate_exact(self, random_complex):
+        rep = evaluate_codec(CastCodec("fp32"), random_complex)
+        assert rep.rate == pytest.approx(2.0)
+        assert 1e-9 < rep.rel_l2 < 1e-7
+
+    def test_fp16_rate_exact(self, random_complex):
+        rep = evaluate_codec(CastCodec("fp16"), random_complex)
+        assert rep.rate == pytest.approx(4.0)
+        assert 1e-5 < rep.rel_l2 < 1e-3
+
+    def test_bf16_rate_and_error(self, random_complex):
+        rep = evaluate_codec(CastCodec("bf16"), random_complex)
+        assert rep.rate == pytest.approx(4.0)
+        assert 1e-4 < rep.rel_l2 < 1e-1
+
+    def test_fp16_unscaled_overflows(self):
+        x = np.array([1e6, 1.0])
+        codec = CastCodec("fp16")
+        back = codec.decompress(codec.compress(x))
+        assert np.isinf(back[0])  # plain truncation, like the paper's
+
+    def test_fp16_scaled_survives_overflow(self):
+        x = np.array([1e6, 1.0])
+        codec = CastCodec("fp16", scaled=True)
+        back = codec.decompress(codec.compress(x))
+        assert np.isfinite(back).all()
+        assert back[0] == pytest.approx(1e6, rel=1e-3)
+
+    def test_scaled_charges_header(self):
+        codec = CastCodec("fp16", scaled=True)
+        msg = codec.compress(np.ones(100))
+        assert msg.nbytes == 200 + 8  # payload + scale scalar
+
+    def test_scaled_all_zero_message(self):
+        codec = CastCodec("fp32", scaled=True)
+        back = codec.decompress(codec.compress(np.zeros(16)))
+        assert np.array_equal(back, np.zeros(16))
+
+    def test_fp32_matches_numpy_cast(self, rng):
+        x = rng.standard_normal(512)
+        codec = CastCodec("fp32")
+        back = codec.decompress(codec.compress(x))
+        assert np.array_equal(back, x.astype(np.float32).astype(np.float64))
+
+    def test_rejects_fp64_target(self):
+        with pytest.raises(CompressionError):
+            CastCodec("fp64")
+
+    @given(well_scaled)
+    @settings(max_examples=50, deadline=None)
+    def test_fp32_error_bounded(self, x):
+        codec = CastCodec("fp32")
+        back = codec.decompress(codec.compress(x))
+        # relative bound plus FP32's underflow floor (subnormals flush)
+        assert np.all(np.abs(back - x) <= 6.0e-8 * np.abs(x) + 1.5e-45)
+
+    @given(well_scaled)
+    @settings(max_examples=50, deadline=None)
+    def test_bf16_roundtrip_error_bounded(self, x):
+        codec = CastCodec("bf16")
+        back = codec.decompress(codec.compress(x))
+        # bf16 unit roundoff 2^-8, plus the FP32-range underflow floor.
+        assert np.all(np.abs(back - x) <= 2.0**-8 * np.abs(x) + 1.5e-38)
+
+
+class TestMantissaTrimCodec:
+    @pytest.mark.parametrize(
+        "m,bytes_per_value", [(52, 8), (44, 7), (36, 6), (28, 5), (23, 5), (20, 4), (12, 3), (4, 2)]
+    )
+    def test_packing_widths(self, m, bytes_per_value):
+        codec = MantissaTrimCodec(m)
+        assert codec.bytes_per_value == bytes_per_value
+        assert codec.rate == pytest.approx(8.0 / bytes_per_value)
+
+    def test_wire_size_matches_rate(self, rng):
+        x = rng.random(1000)
+        codec = MantissaTrimCodec(28)
+        msg = codec.compress(x)
+        assert msg.nbytes == 5000
+        assert codec.compressed_nbytes(1000) == 5000
+
+    def test_roundtrip_preserves_trimmed_values(self, rng):
+        """Packing adds no loss beyond the mantissa rounding itself."""
+        from repro.precision import trim_mantissa
+
+        x = rng.standard_normal(512)
+        for m in (36, 23, 10):
+            codec = MantissaTrimCodec(m)
+            back = codec.decompress(codec.compress(x))
+            assert np.array_equal(back, trim_mantissa(x, m))
+
+    def test_complex_roundtrip(self, random_complex):
+        codec = MantissaTrimCodec(30)
+        back = codec.decompress(codec.compress(random_complex))
+        assert back.dtype == np.complex128 and back.shape == random_complex.shape
+        assert rel_l2_error(random_complex, back) < 2.0**-30
+
+    def test_corrupt_payload_rejected(self, rng):
+        codec = MantissaTrimCodec(23)
+        msg = codec.compress(rng.random(10))
+        bad = CompressedMessage(codec.name, msg.payload[:-1], msg.dtype_name, msg.shape)
+        with pytest.raises(CompressionError, match="corrupt"):
+            codec.decompress(bad)
+
+    @given(well_scaled, st.integers(min_value=1, max_value=44))
+    @settings(max_examples=50, deadline=None)
+    def test_error_within_unit_roundoff(self, x, m):
+        codec = MantissaTrimCodec(m)
+        back = codec.decompress(codec.compress(x))
+        assert np.all(np.abs(back - x) <= codec.max_relative_error * np.abs(x) + 1e-300)
+
+
+class TestShuffleZlibCodec:
+    def test_exact_roundtrip(self, random_complex):
+        codec = ShuffleZlibCodec()
+        back = codec.decompress(codec.compress(random_complex))
+        assert np.array_equal(back, random_complex)
+
+    def test_exact_roundtrip_no_shuffle(self, rng):
+        codec = ShuffleZlibCodec(shuffle=False)
+        x = rng.random(777)
+        assert np.array_equal(codec.decompress(codec.compress(x)), x)
+
+    def test_shuffle_helps_on_smooth_data(self, smooth_field):
+        plain = evaluate_codec(ShuffleZlibCodec(shuffle=False, level=6), smooth_field)
+        shuffled = evaluate_codec(ShuffleZlibCodec(shuffle=True, level=6), smooth_field)
+        assert shuffled.rate > plain.rate
+
+    def test_compresses_constant_data_massively(self):
+        rep = evaluate_codec(ShuffleZlibCodec(), np.ones(10_000))
+        assert rep.rate > 50 and rep.rel_l2 == 0.0
+
+    def test_no_fixed_rate(self):
+        codec = ShuffleZlibCodec()
+        assert codec.rate is None
+        with pytest.raises(CompressionError):
+            codec.compressed_nbytes(100)
+
+    def test_rejects_bad_level(self):
+        with pytest.raises(CompressionError):
+            ShuffleZlibCodec(level=0)
+
+    @given(well_scaled)
+    @settings(max_examples=30, deadline=None)
+    def test_lossless_property(self, x):
+        codec = ShuffleZlibCodec()
+        assert np.array_equal(codec.decompress(codec.compress(x)), x)
+
+
+class TestMetrics:
+    def test_rel_l2_basics(self):
+        x = np.array([3.0, 4.0])
+        assert rel_l2_error(x, x) == 0.0
+        assert rel_l2_error(x, np.zeros(2)) == pytest.approx(1.0)
+        assert rel_l2_error(np.zeros(2), np.zeros(2)) == 0.0
+
+    def test_max_abs_complex(self):
+        x = np.array([1 + 1j])
+        y = np.array([1 + 0j])
+        assert max_abs_error(x, y) == pytest.approx(1.0)
+
+    def test_report_string(self, rng):
+        rep = evaluate_codec(CastCodec("fp32"), rng.random(64))
+        s = str(rep)
+        assert "cast_fp32" in s and "rate" in s

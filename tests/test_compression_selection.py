@@ -1,0 +1,113 @@
+"""Tests for tolerance-driven codec selection (Section III)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compression import (
+    CastCodec,
+    IdentityCodec,
+    MantissaTrimCodec,
+    ZfpLikeCodec,
+    codec_for_tolerance,
+    tolerance_of_codec,
+)
+from repro.compression.selection import mantissa_bits_for_tolerance
+from repro.errors import ToleranceError
+
+
+class TestMantissaBitsForTolerance:
+    def test_examples(self):
+        assert mantissa_bits_for_tolerance(1e-8, margin=1.0) == 26
+        assert mantissa_bits_for_tolerance(2.0**-24, margin=1.0) == 23
+
+    def test_monotone(self):
+        tols = [10.0**-k for k in range(1, 16)]
+        bits = [mantissa_bits_for_tolerance(t) for t in tols]
+        assert all(a <= b for a, b in zip(bits, bits[1:]))
+
+    def test_clamped(self):
+        assert mantissa_bits_for_tolerance(1e-30) == 52
+        assert mantissa_bits_for_tolerance(0.9, margin=1.0) == 1
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ToleranceError):
+            mantissa_bits_for_tolerance(0.0)
+
+
+class TestCodecForTolerance:
+    def test_tight_tolerance_stays_exact(self):
+        assert isinstance(codec_for_tolerance(1e-14), IdentityCodec)
+
+    def test_moderate_tolerance_uses_fp32_cast(self):
+        codec = codec_for_tolerance(1e-6)
+        assert isinstance(codec, CastCodec) and codec.fmt.name == "FP32"
+
+    def test_loose_tolerance_uses_fp16_cast(self):
+        codec = codec_for_tolerance(1e-2)
+        assert isinstance(codec, CastCodec) and codec.fmt.name == "FP16"
+        assert codec.scaled  # overflow-safe variant chosen automatically
+
+    def test_intermediate_tolerance_uses_trim(self):
+        codec = codec_for_tolerance(1e-10)
+        assert isinstance(codec, MantissaTrimCodec)
+        assert 23 < codec.mantissa_bits <= 44
+
+    def test_no_native_casts(self):
+        codec = codec_for_tolerance(1e-6, prefer_native_casts=False)
+        assert isinstance(codec, MantissaTrimCodec)
+
+    def test_smooth_hint_selects_zfp(self):
+        codec = codec_for_tolerance(1e-6, data_hint="smooth")
+        assert isinstance(codec, ZfpLikeCodec) and codec.tolerance is not None
+
+    def test_rejects_bad_hint(self):
+        with pytest.raises(ToleranceError):
+            codec_for_tolerance(1e-6, data_hint="fractal")
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ToleranceError):
+            codec_for_tolerance(-1e-6)
+
+    def test_selection_actually_honours_tolerance(self, rng):
+        """End-to-end: the chosen codec's error stays below e_tol."""
+        x = rng.random(4096)
+        for e_tol in (1e-3, 1e-6, 1e-9, 1e-12):
+            codec = codec_for_tolerance(e_tol)
+            if isinstance(codec, IdentityCodec):
+                continue
+            back = codec.decompress(codec.compress(x))
+            rel = np.linalg.norm(back - x) / np.linalg.norm(x)
+            assert rel < e_tol
+
+    def test_rate_monotone_in_tolerance(self):
+        """Looser tolerances must never compress less."""
+        rates = []
+        for e_tol in (1e-12, 1e-9, 1e-6, 1e-3):
+            codec = codec_for_tolerance(e_tol)
+            rates.append(codec.rate or 1.0)
+        assert all(a <= b for a, b in zip(rates, rates[1:]))
+
+
+class TestToleranceOfCodec:
+    def test_lossless_is_zero(self):
+        assert tolerance_of_codec(IdentityCodec()) == 0.0
+
+    def test_cast_and_trim(self):
+        assert tolerance_of_codec(CastCodec("fp32"), margin=1.0) == pytest.approx(2.0**-24)
+        assert tolerance_of_codec(MantissaTrimCodec(30), margin=1.0) == pytest.approx(2.0**-31)
+
+    def test_zfp_accuracy_mode(self):
+        assert tolerance_of_codec(ZfpLikeCodec(tolerance=1e-6), margin=2.0) == pytest.approx(2e-6)
+
+    def test_zfp_rate_mode_unbounded(self):
+        with pytest.raises(ToleranceError):
+            tolerance_of_codec(ZfpLikeCodec(rate=4.0))
+
+    def test_roundtrip_with_selection(self):
+        """codec_for_tolerance and tolerance_of_codec are consistent."""
+        for e_tol in (1e-4, 1e-7, 1e-11):
+            codec = codec_for_tolerance(e_tol)
+            if not isinstance(codec, IdentityCodec):
+                assert tolerance_of_codec(codec) <= e_tol * 1.01

@@ -1,0 +1,119 @@
+"""Tests for the experiment drivers (small-scale runs + paper landmarks)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    format_fig2,
+    format_fig3,
+    format_fig4,
+    format_table1_experiment,
+    format_table2,
+    run_fig2,
+    run_fig3,
+    run_fig4,
+    run_table1,
+    run_table2,
+)
+from repro.experiments.paper_data import FIG3_LANDMARKS, FIG4_LANDMARKS, PAPER_TABLE2
+
+
+class TestTable1:
+    def test_rows_and_rendering(self):
+        rows = run_table1()
+        assert len(rows) == 4
+        text = format_table1_experiment()
+        assert "FP64" in text and "BFloat16" in text
+
+
+class TestFig2:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_fig2(shape=(16, 16, 16), nranks=4, mantissa_bits=[52, 36, 23])
+
+    def test_curve_shape(self, rows):
+        by_label = {r.label: r for r in rows}
+        assert by_label["m=52"].error < 1e-14
+        assert by_label["m=36"].error < by_label["m=23"].error
+        assert by_label["MP 64/32"].error < by_label["FP32"].error
+
+    def test_rendering(self, rows):
+        text = format_fig2(rows)
+        assert "MP 64/32" in text and "theor" in text
+
+
+class TestFig3:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_fig3()
+
+    def test_landmarks(self, rows):
+        by_gpus = {r.gpus: r for r in rows}
+        target, tol = FIG3_LANDMARKS["classical@1536"]
+        assert by_gpus[1536].classical_gbs == pytest.approx(target, rel=tol)
+        target, tol = FIG3_LANDMARKS["osc@1536"]
+        assert by_gpus[1536].osc_gbs == pytest.approx(target, rel=tol)
+        target, tol = FIG3_LANDMARKS["classical@24"]
+        assert by_gpus[24].classical_gbs == pytest.approx(target, rel=tol)
+
+    def test_osc_never_slower(self, rows):
+        assert all(r.osc_gbs >= r.classical_gbs for r in rows)
+
+    def test_rendering(self, rows):
+        assert "OSC_Alltoall" in format_fig3(rows)
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_fig4()
+
+    def test_landmarks(self, rows):
+        by_gpus = {r.gpus: r for r in rows}
+        target, tol = FIG4_LANDMARKS["fp16_tflops@1536"]
+        assert by_gpus[1536].tflops["FP64->FP16"] == pytest.approx(target, rel=tol)
+        target, tol = FIG4_LANDMARKS["fp32comp_speedup@1536"]
+        assert by_gpus[1536].speedup["FP64->FP32"] == pytest.approx(target, rel=tol)
+        target, tol = FIG4_LANDMARKS["fp32_speedup@192"]
+        assert by_gpus[192].speedup["FP32"] == pytest.approx(target, rel=tol)
+        # "exceed a 4x speedup up to 384 GPUs"
+        for p in (48, 96, 192, 384):
+            assert by_gpus[p].speedup["FP64->FP16"] > FIG4_LANDMARKS["fp16_speedup@384_min"][0]
+
+    def test_mixed_always_at_least_fp32(self, rows):
+        for r in rows:
+            assert r.speedup["FP64->FP32"] >= r.speedup["FP32"] * 0.97
+
+    def test_rendering(self, rows):
+        text = format_fig4(rows)
+        assert "FP64->FP16" in text and "Tflop" in text
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_table2(n=16, gpu_counts=[4, 8, 12])
+
+    def test_column_ordering_matches_paper(self, rows):
+        """FP64 << FP64->FP32 < FP32 at every rank count."""
+        for r in rows:
+            assert r.fp64 < 1e-13
+            assert r.fp64 < r.cast < r.fp32
+            assert r.improvement > 1.0
+
+    def test_error_levels(self, rows):
+        for r in rows:
+            assert 1e-9 < r.cast < 1e-6
+            assert 1e-9 < r.fp32 < 1e-5
+
+    def test_paper_reference_data_shape(self):
+        """Sanity on the transcription: the paper's own table shows the
+        order-of-magnitude gap at every GPU count."""
+        for vals in PAPER_TABLE2.values():
+            assert vals["FP64"] < 1e-13
+            assert vals["FP64->FP32"] * 5 < vals["FP32"]
+
+    def test_rendering(self, rows):
+        text = format_table2(rows)
+        assert "FP64->FP32" in text and "gain" in text

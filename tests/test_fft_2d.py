@@ -1,0 +1,57 @@
+"""Tests for the distributed 2-D FFT (Fft2d)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compression import CastCodec
+from repro.errors import PlanError
+from repro.fft import Fft2d
+
+
+class TestForward:
+    @pytest.mark.parametrize("shape,p", [((32, 32), 1), ((32, 24), 6), ((17, 13), 4)])
+    def test_matches_numpy_fft2(self, rng, shape, p):
+        x = rng.random(shape) + 1j * rng.random(shape)
+        plan = Fft2d(shape, p)
+        ref = np.fft.fft2(x)
+        assert np.linalg.norm(plan.forward(x) - ref) <= 1e-12 * np.linalg.norm(ref)
+
+    def test_backward(self, rng):
+        x = rng.random((16, 16)) + 0j
+        plan = Fft2d((16, 16), 4)
+        assert np.allclose(plan.backward(x), np.fft.ifft2(x), rtol=1e-12)
+
+    def test_roundtrip(self, rng):
+        assert Fft2d((32, 32), 8).roundtrip_error(rng.random((32, 32))) < 1e-14
+
+    def test_fp32(self, rng):
+        err = Fft2d((32, 32), 4, precision="fp32").roundtrip_error(rng.random((32, 32)))
+        assert 1e-9 < err < 1e-5
+
+    def test_compressed(self, rng):
+        plan = Fft2d((32, 32), 4, codec=CastCodec("fp32"))
+        err = plan.roundtrip_error(rng.random((32, 32)))
+        assert 1e-10 < err < 1e-6
+        assert plan.last_stats.achieved_rate == pytest.approx(2.0)
+        assert len(plan.last_stats.reshapes) == 3  # 2-D: three reshapes
+
+    def test_e_tol(self, rng):
+        plan = Fft2d((16, 16), 2, e_tol=1e-4)
+        assert plan.roundtrip_error(rng.random((16, 16))) < 1e-4
+
+    def test_scatter_gather(self, rng):
+        plan = Fft2d((12, 10), 4)
+        x = (rng.random((12, 10)) + 1j * rng.random((12, 10))).astype(np.complex128)
+        assert np.array_equal(plan.gather(plan.scatter(x)), x)
+
+    def test_validation(self):
+        with pytest.raises(PlanError):
+            Fft2d((8,), 2)
+        with pytest.raises(PlanError):
+            Fft2d((8, 1), 2)
+        with pytest.raises(PlanError):
+            Fft2d((8, 8), 2, precision="fp32", codec=CastCodec("fp32"))
+        with pytest.raises(PlanError):
+            Fft2d((8, 8), 2).forward(np.zeros((4, 4)))

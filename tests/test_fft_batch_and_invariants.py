@@ -1,0 +1,142 @@
+"""Tests for batched transforms and the FFT invariant checkers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.accuracy.invariants import (
+    hermitian_defect,
+    linearity_defect,
+    parseval_defect,
+    shift_theorem_defect,
+)
+from repro.compression import CastCodec, MantissaTrimCodec
+from repro.fft import Fft3d
+from repro.runtime import run_spmd
+
+
+class TestBatchedTransforms:
+    def test_batch_matches_per_field(self, rng):
+        xb = rng.random((3, 16, 16, 16)) + 1j * rng.random((3, 16, 16, 16))
+        plan = Fft3d((16, 16, 16), 4)
+        got = plan.forward(xb)
+        assert got.shape == (3, 16, 16, 16)
+        for i in range(3):
+            assert np.allclose(got[i], np.fft.fftn(xb[i]), rtol=1e-12)
+
+    def test_batch_roundtrip(self, rng):
+        xb = rng.random((2, 16, 16, 16))
+        plan = Fft3d((16, 16, 16), 4)
+        back = plan.backward(plan.forward(xb))
+        assert np.allclose(back, xb, atol=1e-13)
+
+    def test_batch_compressed(self, rng):
+        xb = rng.random((2, 16, 16, 16))
+        plan = Fft3d((16, 16, 16), 4, codec=CastCodec("fp32"))
+        got = plan.forward(xb)
+        for i in range(2):
+            ref = np.fft.fftn(xb[i])
+            assert np.linalg.norm(got[i] - ref) / np.linalg.norm(ref) < 1e-6
+        assert plan.last_stats.achieved_rate == pytest.approx(2.0)
+
+    def test_batch_amortizes_messages(self, rng):
+        """One batched transform sends the same message *count* as an
+        unbatched one (bytes scale with the batch instead)."""
+        plan = Fft3d((16, 16, 16), 4, codec=CastCodec("fp32"))
+        plan.forward(rng.random((16, 16, 16)))
+        single_msgs = sum(r.messages for r in plan.last_stats.reshapes)
+        single_bytes = plan.last_stats.wire_bytes
+        plan.forward(rng.random((4, 16, 16, 16)))
+        batch_msgs = sum(r.messages for r in plan.last_stats.reshapes)
+        assert batch_msgs == single_msgs
+        assert plan.last_stats.wire_bytes == 4 * single_bytes
+
+    def test_batch_spmd(self, rng):
+        xb = rng.random((2, 12, 12, 12)) + 0j
+        plan = Fft3d((12, 12, 12), 4)
+        locals_ = plan.scatter(xb)
+
+        def kernel(comm):
+            return plan.forward_spmd(comm, locals_[comm.rank], method="osc")
+
+        got = plan.gather(run_spmd(4, kernel))
+        for i in range(2):
+            assert np.allclose(got[i], np.fft.fftn(xb[i]), rtol=1e-12)
+
+    def test_scatter_gather_batched(self, rng):
+        plan = Fft3d((8, 8, 8), 2)
+        xb = (rng.random((5, 8, 8, 8)) + 0j).astype(np.complex128)
+        assert np.array_equal(plan.gather(plan.scatter(xb)), xb)
+
+
+class TestInvariants:
+    @pytest.fixture(scope="class")
+    def exact_plan(self):
+        return Fft3d((16, 16, 16), 4)
+
+    def test_parseval_exact(self, exact_plan, rng):
+        x = rng.random((16, 16, 16)) + 1j * rng.random((16, 16, 16))
+        assert parseval_defect(exact_plan, x) < 1e-13
+
+    def test_parseval_tracks_codec_tolerance(self, rng):
+        x = rng.random((16, 16, 16)) + 0j
+        loose = Fft3d((16, 16, 16), 4, codec=MantissaTrimCodec(16))
+        tight = Fft3d((16, 16, 16), 4, codec=MantissaTrimCodec(40))
+        assert parseval_defect(tight, x) < parseval_defect(loose, x)
+        assert parseval_defect(loose, x) < 1e-2
+
+    def test_linearity_exact(self, exact_plan, rng):
+        x = rng.random((16, 16, 16)) + 0j
+        y = rng.random((16, 16, 16)) + 0j
+        assert linearity_defect(exact_plan, x, y) < 1e-13
+
+    def test_compression_is_nonlinear(self, rng):
+        """The codec rounds, so linearity breaks at ~its tolerance —
+        exactly the caveat an approximate-FFT user must know."""
+        plan = Fft3d((16, 16, 16), 4, codec=CastCodec("fp32"))
+        x = rng.random((16, 16, 16)) + 0j
+        y = rng.random((16, 16, 16)) + 0j
+        d = linearity_defect(plan, x, y)
+        assert 1e-10 < d < 1e-5
+
+    def test_shift_theorem(self, exact_plan, rng):
+        x = rng.random((16, 16, 16)) + 0j
+        assert shift_theorem_defect(exact_plan, x, (1, 0, 0)) < 1e-12
+        assert shift_theorem_defect(exact_plan, x, (2, 3, 5)) < 1e-12
+
+    def test_hermitian_symmetry_for_real_input(self, exact_plan, rng):
+        assert hermitian_defect(exact_plan, rng.random((16, 16, 16))) < 1e-12
+
+    def test_hermitian_survives_compression_approximately(self, rng):
+        plan = Fft3d((16, 16, 16), 4, codec=CastCodec("fp32"))
+        d = hermitian_defect(plan, rng.random((16, 16, 16)))
+        assert d < 1e-6
+
+
+class TestWeakScaling:
+    def test_rows_and_rendering(self):
+        from repro.experiments.weak import format_weak_scaling, run_weak_scaling
+
+        rows = run_weak_scaling()
+        assert rows[0].gpus == 48 and rows[0].n == 512
+        assert all(r2.gpus == 8 * r1.gpus for r1, r2 in zip(rows, rows[1:]))
+        # compression holds weak efficiency above FP64's while messages
+        # stay above the compression break-even (up to a few thousand
+        # GPUs)...
+        for r in rows[1:]:
+            if r.gpus <= 3072:
+                assert r.efficiency["FP64->FP16"] >= r.efficiency["FP64"] * 0.8
+        # ...and flips below it in the extreme latency-bound regime —
+        # the Fig. 4 taper taken to its logical end.
+        if rows[-1].gpus > 10_000:
+            assert rows[-1].efficiency["FP64->FP16"] < rows[-1].efficiency["FP64"]
+        text = format_weak_scaling(rows)
+        assert "weak eff" in text
+
+    def test_efficiency_degrades_monotonically(self):
+        from repro.experiments.weak import run_weak_scaling
+
+        rows = run_weak_scaling()
+        effs = [r.efficiency["FP64"] for r in rows]
+        assert all(b <= a * 1.02 for a, b in zip(effs, effs[1:]))

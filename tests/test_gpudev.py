@@ -1,0 +1,95 @@
+"""Tests for the simulated GPU stream and the Section V-B pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compression import CastCodec
+from repro.errors import ModelError
+from repro.gpudev import CompressionPipeline, Kernel, Stream
+from repro.machine import SUMMIT
+
+
+class TestStream:
+    def test_in_order_execution(self):
+        stream = Stream()
+        log: list[int] = []
+        for i in range(5):
+            stream.launch(f"k{i}", lambda i=i: log.append(i), duration_s=0.001)
+        stream.synchronize()
+        assert log == [0, 1, 2, 3, 4]
+
+    def test_clock_accumulates(self):
+        stream = Stream()
+        stream.launch("a", lambda: None, 0.5)
+        stream.launch("b", lambda: None, 0.25)
+        assert stream.synchronize() == pytest.approx(0.75)
+        assert [k.completed_at for k in stream.history] == [pytest.approx(0.5), pytest.approx(0.75)]
+
+    def test_partial_progress(self):
+        stream = Stream()
+        for i in range(4):
+            stream.launch(f"k{i}", lambda: None, 0.1)
+        assert stream.progress(2) == 2
+        assert stream.pending == 2
+        stream.synchronize()
+        assert stream.pending == 0
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ModelError):
+            Kernel("bad", lambda: None, -1.0)
+
+
+class TestCompressionPipeline:
+    def _pipeline(self, chunks=8, link=12.5e9):
+        return CompressionPipeline(
+            SUMMIT.gpu, CastCodec("fp32"), link_bytes_per_s=link, chunks=chunks
+        )
+
+    def test_fragments_reassemble(self, rng):
+        data = rng.random(10_000)
+        pipe = self._pipeline(chunks=7)
+        frags, _ = pipe.run(data)
+        codec = CastCodec("fp32")
+        back = np.concatenate([codec.decompress(m) for m in frags])
+        assert np.allclose(back, data, rtol=1e-6)
+        assert len(frags) == 7
+
+    def test_counter_pattern_monotone_timeline(self, rng):
+        _, trace = self._pipeline(chunks=5).run(rng.random(50_000))
+        # compression completions are non-decreasing, puts start after
+        # their chunk is compressed, wire is serialised
+        assert all(a <= b for a, b in zip(trace.chunk_compress_done, trace.chunk_compress_done[1:]))
+        for ready, start in zip(trace.chunk_compress_done, trace.chunk_put_start):
+            assert start >= ready
+        assert all(a <= b for a, b in zip(trace.chunk_put_done, trace.chunk_put_done[1:]))
+
+    def test_paper_cost_claim(self, rng):
+        """'Total cost ... equals the cost of the compression of the first
+        chunk plus the communication of the compressed data' — when the
+        wire is slower than the compressor."""
+        data = rng.random(4_000_000)  # 32 MB
+        pipe = self._pipeline(chunks=8, link=5e9)
+        msgs, trace = pipe.run(data)
+        wire_bytes = sum(m.nbytes for m in msgs)
+        expected = trace.first_compress_s + wire_bytes / 5e9
+        assert trace.total_s == pytest.approx(expected, rel=0.15)
+
+    def test_more_chunks_reduce_fill_latency(self, rng):
+        data = rng.random(1_000_000)
+        _, few = self._pipeline(chunks=2).run(data)
+        _, many = self._pipeline(chunks=16).run(data)
+        assert many.first_compress_s < few.first_compress_s
+
+    def test_single_chunk_degenerates_to_serial(self, rng):
+        data = rng.random(100_000)
+        msgs, trace = self._pipeline(chunks=1).run(data)
+        assert len(msgs) == 1
+        assert trace.chunk_put_start[0] >= trace.chunk_compress_done[0]
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ModelError):
+            self._pipeline(chunks=0)
+        with pytest.raises(ModelError):
+            CompressionPipeline(SUMMIT.gpu, CastCodec("fp32"), link_bytes_per_s=0.0)

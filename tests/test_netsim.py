@@ -1,0 +1,173 @@
+"""Tests for the performance model: kernels, all-to-all costs, FFT costs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ModelError
+from repro.machine import SUMMIT
+from repro.netsim import (
+    classical_alltoall_cost,
+    compressed_osc_alltoall_cost,
+    compression_kernel_time,
+    fft3d_cost,
+    fft_kernel_time,
+    osc_alltoall_cost,
+    pack_kernel_time,
+)
+from repro.netsim.alltoall_model import congestion_factor
+from repro.netsim.fft_model import STANDARD_SCENARIOS, FftScenario
+
+
+class TestKernels:
+    def test_compression_time_scales_with_bytes(self):
+        t1 = compression_kernel_time(SUMMIT.gpu, 1_000_000, 2.0)
+        t2 = compression_kernel_time(SUMMIT.gpu, 2_000_000, 2.0)
+        assert t2 > t1
+
+    def test_higher_rate_writes_less(self):
+        t2 = compression_kernel_time(SUMMIT.gpu, 10_000_000, 2.0)
+        t4 = compression_kernel_time(SUMMIT.gpu, 10_000_000, 4.0)
+        assert t4 < t2
+
+    def test_zfp_costs_more_than_cast(self):
+        # compare at a size where streaming dominates kernel launch
+        cast = compression_kernel_time(SUMMIT.gpu, 100_000_000, 2.0, codec_name="cast_fp32")
+        zfp = compression_kernel_time(SUMMIT.gpu, 100_000_000, 2.0, codec_name="zfp_rate2")
+        assert zfp > 5 * cast
+
+    def test_unknown_codec_rejected(self):
+        with pytest.raises(ModelError):
+            compression_kernel_time(SUMMIT.gpu, 100, 2.0, codec_name="magic")
+
+    def test_pack_and_fft_kernels(self):
+        assert pack_kernel_time(SUMMIT.gpu, 1_000_000) > 0
+        assert fft_kernel_time(SUMMIT.gpu, 1e9, "fp32") < fft_kernel_time(SUMMIT.gpu, 1e9, "fp64")
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ModelError):
+            pack_kernel_time(SUMMIT.gpu, -1)
+        with pytest.raises(ModelError):
+            compression_kernel_time(SUMMIT.gpu, 100, 0.5)
+
+
+class TestCongestion:
+    def test_small_clusters_uncongested(self):
+        assert congestion_factor(2, 80_000) == 1.0
+        assert congestion_factor(4, 80_000) == 1.0
+
+    def test_grows_with_nodes(self):
+        f = [congestion_factor(n, 80_000) for n in (8, 32, 128, 256)]
+        assert all(a < b for a, b in zip(f, f[1:]))
+
+    def test_small_messages_congest_less(self):
+        assert congestion_factor(256, 1_000) < congestion_factor(256, 80_000)
+
+
+class TestAlltoallCosts:
+    def test_fig3_shape_small_scale_similar(self):
+        c = classical_alltoall_cost(SUMMIT, 24, 80_000)
+        o = osc_alltoall_cost(SUMMIT, 24, 80_000)
+        assert c.node_bandwidth_gbs == pytest.approx(o.node_bandwidth_gbs, rel=0.35)
+
+    def test_fig3_shape_large_scale_gap(self):
+        """Paper: classical ~5 GB/s at 1536 GPUs, OSC ~2x that."""
+        c = classical_alltoall_cost(SUMMIT, 1536, 80_000)
+        o = osc_alltoall_cost(SUMMIT, 1536, 80_000)
+        assert c.node_bandwidth_gbs == pytest.approx(5.0, rel=0.35)
+        assert o.node_bandwidth_gbs / c.node_bandwidth_gbs == pytest.approx(2.0, rel=0.25)
+
+    def test_classical_bandwidth_decreasing(self):
+        bw = [
+            classical_alltoall_cost(SUMMIT, p, 80_000).node_bandwidth_gbs
+            for p in (24, 96, 384, 1536)
+        ]
+        assert all(a > b for a, b in zip(bw, bw[1:]))
+
+    def test_compression_reduces_transfer(self):
+        base = osc_alltoall_cost(SUMMIT, 96, 80_000)
+        comp = compressed_osc_alltoall_cost(SUMMIT, 96, 80_000, rate=4.0)
+        assert comp.transfer_s == pytest.approx(base.transfer_s / 4.0, rel=0.05)
+        assert comp.kernel_s > base.kernel_s  # pays compression kernels
+
+    def test_total_breakdown_consistent(self):
+        c = compressed_osc_alltoall_cost(SUMMIT, 96, 80_000, rate=2.0)
+        assert c.total_s == pytest.approx(c.transfer_s + c.overhead_s + c.kernel_s)
+
+    def test_partial_node_rejected(self):
+        with pytest.raises(ModelError):
+            classical_alltoall_cost(SUMMIT, 25, 80_000)
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ModelError):
+            compressed_osc_alltoall_cost(SUMMIT, 24, 80_000, rate=0.9)
+
+
+class TestFftCosts:
+    def test_scenarios_exist(self):
+        assert set(STANDARD_SCENARIOS) == {"FP64", "FP32", "FP64->FP32", "FP64->FP16"}
+
+    def test_fig4_landmark_fp16_tflops(self):
+        """Paper: ~14 Tflop/s at 1536 GPUs with rate-4 compression."""
+        c = fft3d_cost(SUMMIT, 1536, 1024, "FP64->FP16")
+        assert c.gflops / 1000 == pytest.approx(14.0, rel=0.25)
+
+    def test_fig4_fp32_speedup_about_2x(self):
+        base = fft3d_cost(SUMMIT, 192, 1024, "FP64")
+        fp32 = fft3d_cost(SUMMIT, 192, 1024, "FP32")
+        assert base.total_s / fp32.total_s == pytest.approx(2.0, rel=0.2)
+
+    def test_fig4_fp16_exceeds_4x_up_to_384(self):
+        for p in (48, 96, 192, 384):
+            base = fft3d_cost(SUMMIT, p, 1024, "FP64")
+            fp16 = fft3d_cost(SUMMIT, p, 1024, "FP64->FP16")
+            assert base.total_s / fp16.total_s > 4.0
+
+    def test_fig4_fp16_speedup_tapers_after_384(self):
+        """Latency becomes dominant: the speedup peak is behind us."""
+        speedups = []
+        for p in (384, 768, 1536):
+            base = fft3d_cost(SUMMIT, p, 1024, "FP64")
+            fp16 = fft3d_cost(SUMMIT, p, 1024, "FP64->FP16")
+            speedups.append(base.total_s / fp16.total_s)
+        assert speedups[0] > speedups[-1]
+
+    def test_fig4_curve_ordering(self):
+        """FP64->FP16 > FP64->FP32 >= FP32 > FP64 at scale."""
+        for p in (96, 384, 1536):
+            t = {c: fft3d_cost(SUMMIT, p, 1024, c).total_s for c in STANDARD_SCENARIOS}
+            assert t["FP64->FP16"] < t["FP64->FP32"] <= t["FP32"] * 1.05 < t["FP64"]
+
+    def test_mixed_beats_fp32_with_same_volume(self):
+        """Paper: 'The FP64->FP32 curve shows a greater speedup than the
+        FP32, with the same volume of communication.'"""
+        for p in (48, 192, 768):
+            fp32 = fft3d_cost(SUMMIT, p, 1024, "FP32")
+            mixed = fft3d_cost(SUMMIT, p, 1024, "FP64->FP32")
+            assert mixed.total_s < fp32.total_s
+
+    def test_communication_dominates_at_scale(self):
+        """Paper intro: >95% of runtime in communication at scale."""
+        c = fft3d_cost(SUMMIT, 1536, 1024, "FP64")
+        assert c.comm_fraction > 0.9
+
+    def test_gflops_metric(self):
+        c = fft3d_cost(SUMMIT, 12, 1024, "FP64")
+        import math
+
+        assert c.flops == pytest.approx(5 * 1024**3 * math.log2(1024**3))
+
+    def test_custom_scenario(self):
+        s = FftScenario("BF16ish", "fp64", "osc", 4.0, "cast_fp16")
+        c = fft3d_cost(SUMMIT, 96, 512, s)
+        assert c.total_s > 0
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ModelError):
+            fft3d_cost(SUMMIT, 96, 512, "FP8")
+
+    def test_bad_scenario_params_rejected(self):
+        with pytest.raises(ModelError):
+            FftScenario("x", "fp64", "smoke-signals")
+        with pytest.raises(ModelError):
+            FftScenario("x", "fp64", "osc", 0.5)

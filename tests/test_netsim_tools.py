@@ -1,0 +1,78 @@
+"""Tests for the model exploration tools (crossovers, phase breakdown)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ModelError
+from repro.machine import SUMMIT
+from repro.netsim import (
+    bruck_ring_crossover_bytes,
+    compression_breakeven_bytes,
+    fft_phase_breakdown,
+    format_phase_breakdown,
+)
+
+
+class TestBreakeven:
+    def test_breakeven_exists_and_is_small(self):
+        """Above a few hundred bytes per pair, compression always pays."""
+        b = compression_breakeven_bytes(SUMMIT, 96)
+        assert 8 <= b <= 100_000
+
+    def test_breakeven_shrinks_with_scale(self):
+        """More ranks = more latency-bound = compression pays later...
+        actually the per-pair fixed costs stay similar while the NIC is
+        more contended, so the break-even must not explode with p."""
+        b96 = compression_breakeven_bytes(SUMMIT, 96)
+        b1536 = compression_breakeven_bytes(SUMMIT, 1536)
+        assert b1536 <= 10 * b96
+
+    def test_consistency_with_cost_model(self):
+        from repro.netsim import compressed_osc_alltoall_cost, osc_alltoall_cost
+
+        b = compression_breakeven_bytes(SUMMIT, 96)
+        worse = compressed_osc_alltoall_cost(SUMMIT, 96, max(1, b // 4), rate=4.0)
+        plain_small = osc_alltoall_cost(SUMMIT, 96, max(1, b // 4))
+        assert worse.total_s >= plain_small.total_s  # below break-even: loses
+        better = compressed_osc_alltoall_cost(SUMMIT, 96, b * 4, rate=4.0)
+        plain_big = osc_alltoall_cost(SUMMIT, 96, b * 4)
+        assert better.total_s <= plain_big.total_s  # above: wins
+
+
+class TestBruckCrossover:
+    def test_crossover_in_expected_range(self):
+        b = bruck_ring_crossover_bytes(SUMMIT, 384)
+        assert 16 <= b <= 1_000_000
+
+    def test_larger_clusters_shift_crossover_up(self):
+        """More ranks = more ring start-ups = Bruck stays competitive longer."""
+        b96 = bruck_ring_crossover_bytes(SUMMIT, 96)
+        b1536 = bruck_ring_crossover_bytes(SUMMIT, 1536)
+        assert b1536 >= b96
+
+
+class TestPhaseBreakdown:
+    def test_fractions_sum_to_one(self):
+        shares = fft_phase_breakdown(SUMMIT, 384, 1024, "FP64")
+        assert sum(s.fraction for s in shares) == pytest.approx(1.0)
+
+    def test_communication_dominates_fp64(self):
+        shares = {s.name: s for s in fft_phase_breakdown(SUMMIT, 1536, 1024, "FP64")}
+        assert shares["reshape transfer"].fraction > 0.5
+
+    def test_compression_kernels_appear_only_when_compressing(self):
+        plain = {s.name: s for s in fft_phase_breakdown(SUMMIT, 96, 1024, "FP64")}
+        comp = {s.name: s for s in fft_phase_breakdown(SUMMIT, 96, 1024, "FP64->FP16")}
+        assert plain["compression kernels"].seconds == 0.0
+        assert comp["compression kernels"].seconds > 0.0
+
+    def test_render(self):
+        text = format_phase_breakdown(fft_phase_breakdown(SUMMIT, 96, 1024, "FP64->FP32"))
+        assert "reshape transfer" in text and "%" in text
+
+    def test_unknown_scenario(self):
+        from repro.netsim.tools import standard_scenario
+
+        with pytest.raises(ModelError):
+            standard_scenario("FP128")

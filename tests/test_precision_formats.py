@@ -1,0 +1,106 @@
+"""Tests for the floating-point format zoo (paper Table I)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import PrecisionError
+from repro.precision import BF16, FP16, FP32, FP64, get_format, known_formats, trimmed_format
+from repro.precision.table import format_table1, table1_rows
+
+
+class TestFormatParameters:
+    """Every derived column must reproduce Table I exactly."""
+
+    @pytest.mark.parametrize(
+        "fmt,bits,xmin_s,xmin,xmax,roundoff",
+        [
+            (BF16, 16, 9.2e-41, 1.2e-38, 3.4e38, 3.9e-3),
+            (FP16, 16, 6.0e-8, 6.1e-5, 6.6e4, 4.9e-4),
+            (FP32, 32, 1.4e-45, 1.2e-38, 3.4e38, 6.0e-8),
+            (FP64, 64, 4.9e-324, 2.2e-308, 1.7976931348623157e308, 1.1e-16),
+        ],
+    )
+    def test_table1_columns(self, fmt, bits, xmin_s, xmin, xmax, roundoff):
+        assert fmt.bits == bits
+        assert fmt.smallest_subnormal == pytest.approx(xmin_s, rel=0.05)
+        assert fmt.smallest_normal == pytest.approx(xmin, rel=0.05)
+        assert fmt.largest_normal == pytest.approx(xmax, rel=0.05)
+        assert fmt.unit_roundoff == pytest.approx(roundoff, rel=0.05)
+
+    def test_matches_numpy_finfo(self):
+        for fmt, np_dtype in [(FP64, np.float64), (FP32, np.float32), (FP16, np.float16)]:
+            fi = np.finfo(np_dtype)
+            assert fmt.largest_normal == pytest.approx(float(fi.max), rel=1e-12)
+            assert fmt.smallest_normal == pytest.approx(float(fi.tiny), rel=1e-12)
+            assert fmt.machine_epsilon == pytest.approx(float(fi.eps), rel=1e-12)
+
+    def test_compression_rates(self):
+        assert FP32.compression_rate_from(FP64) == 2.0
+        assert FP16.compression_rate_from(FP64) == 4.0
+        assert BF16.compression_rate_from(FP64) == 4.0
+
+    def test_describe_keys(self):
+        d = FP32.describe()
+        assert d["name"] == "FP32" and d["bits"] == 32
+        assert set(d) >= {"xmin_subnormal", "xmin_normal", "xmax", "unit_roundoff"}
+
+
+class TestRegistry:
+    def test_lookup_aliases(self):
+        assert get_format("fp64") is FP64
+        assert get_format("DOUBLE") is FP64
+        assert get_format("float32") is FP32
+        assert get_format("half") is FP16
+        assert get_format("bfloat16") is BF16
+
+    def test_passthrough(self):
+        assert get_format(FP32) is FP32
+
+    def test_unknown_raises(self):
+        with pytest.raises(PrecisionError, match="unknown float format"):
+            get_format("fp8")
+
+    def test_known_formats_order(self):
+        assert [f.bits for f in known_formats()] == [64, 32, 16, 16]
+
+
+class TestTrimmedFormats:
+    def test_endpoints(self):
+        assert trimmed_format(52) is FP64
+        f = trimmed_format(23)
+        assert f.exponent_bits == 11 and f.mantissa_bits == 23 and f.bits == 35
+        assert f.unit_roundoff == FP32.unit_roundoff  # same significand accuracy
+        assert f.largest_normal == pytest.approx(FP64.largest_normal)  # FP64 range
+
+    def test_monotone_roundoff(self):
+        errs = [trimmed_format(m).unit_roundoff for m in range(1, 53)]
+        assert all(a > b for a, b in zip(errs, errs[1:]))
+
+    @pytest.mark.parametrize("bad", [0, 53, -3])
+    def test_rejects_bad_widths(self, bad):
+        with pytest.raises(PrecisionError):
+            trimmed_format(bad)
+
+    def test_invalid_format_construction(self):
+        from repro.precision.formats import FloatFormat
+
+        with pytest.raises(PrecisionError):
+            FloatFormat("bad", exponent_bits=1, mantissa_bits=10)
+        with pytest.raises(PrecisionError):
+            FloatFormat("bad", exponent_bits=8, mantissa_bits=0)
+
+
+class TestTable1Rendering:
+    def test_rows(self):
+        rows = table1_rows()
+        assert [r.fmt.name for r in rows] == ["BFloat16", "FP16", "FP32", "FP64"]
+        assert rows[0].peak_v100_tflops is None  # V100 has no BF16
+        assert rows[1].peak_v100_tflops == 125.0
+        assert rows[3].peak_mi100_tflops == 11.5
+
+    def test_text_contains_all_formats(self):
+        text = format_table1()
+        for name in ("BFloat16", "FP16", "FP32", "FP64", "N/A"):
+            assert name in text

@@ -1,0 +1,37 @@
+"""Tests for the paper-vs-measured landmark report."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.report import LandmarkCheck, check_landmarks, format_report
+
+
+class TestLandmarkCheck:
+    def test_within_tolerance_passes(self):
+        assert LandmarkCheck("x", 10.0, 11.0, 0.2).passed
+        assert not LandmarkCheck("x", 10.0, 13.0, 0.2).passed
+
+    def test_lower_bound(self):
+        assert LandmarkCheck("x", 4.0, 5.0, 0.0, is_lower_bound=True).passed
+        assert not LandmarkCheck("x", 4.0, 3.9, 0.0, is_lower_bound=True).passed
+
+    def test_deviation(self):
+        assert LandmarkCheck("x", 10.0, 12.0, 0.5).deviation == pytest.approx(0.2)
+
+
+class TestFullReport:
+    @pytest.fixture(scope="class")
+    def checks(self):
+        return check_landmarks(table2_n=16)
+
+    def test_every_landmark_reproduced(self, checks):
+        """The headline assertion of this repository: all of the paper's
+        stated quantitative landmarks hold in the reproduction."""
+        failed = [c.name for c in checks if not c.passed]
+        assert not failed, f"landmarks missed: {failed}"
+
+    def test_report_renders(self, checks):
+        text = format_report(checks)
+        assert "landmarks reproduced" in text and "PASS" in text
+        assert f"{sum(c.passed for c in checks)}/{len(checks)}" in text

@@ -1,0 +1,115 @@
+"""Tests for RMA accumulate and lock_all (window extensions)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import WindowError
+from repro.runtime import run_spmd
+
+
+class TestAccumulate:
+    def test_concurrent_sums_are_atomic(self):
+        def kernel(comm):
+            win = comm.win_create(8)
+            win.local_view().view(np.float64)[0] = 0.0
+            win.fence()
+            for _ in range(50):
+                win.accumulate(np.array([1.0]), 0, op="sum")
+            win.fence()
+            val = float(win.local_view().view(np.float64)[0])
+            win.free()
+            return val
+
+        res = run_spmd(4, kernel)
+        assert res[0] == 200.0  # 4 ranks x 50 increments, none lost
+
+    def test_max_min(self):
+        def kernel(comm):
+            win = comm.win_create(16)
+            arr = win.local_view().view(np.float64)
+            arr[0], arr[1] = -np.inf, np.inf
+            win.fence()
+            win.accumulate(np.array([float(comm.rank)]), 0, offset=0, op="max")
+            win.accumulate(np.array([float(comm.rank)]), 0, offset=8, op="min")
+            win.fence()
+            out = win.local_view().view(np.float64).copy()
+            win.free()
+            return out
+
+        res = run_spmd(3, kernel)
+        assert res[0][0] == 2.0 and res[0][1] == 0.0
+
+    def test_replace(self):
+        def kernel(comm):
+            win = comm.win_create(8)
+            win.fence()
+            if comm.rank == 1:
+                win.accumulate(np.array([7.0]), 0, op="replace")
+            win.fence()
+            v = float(win.local_view().view(np.float64)[0])
+            win.free()
+            return v
+
+        assert run_spmd(2, kernel)[0] == 7.0
+
+    def test_vector_accumulate(self):
+        def kernel(comm):
+            win = comm.win_create(32)
+            win.local_view().view(np.float64)[:] = 0.0
+            win.fence()
+            win.accumulate(np.arange(4.0), 0, op="sum")
+            win.fence()
+            out = win.local_view().view(np.float64).copy()
+            win.free()
+            return out
+
+        res = run_spmd(2, kernel)
+        assert np.array_equal(res[0], 2 * np.arange(4.0))
+
+    def test_misaligned_offset_rejected(self):
+        def kernel(comm):
+            win = comm.win_create(16)
+            win.fence()
+            win.accumulate(np.array([1.0]), 0, offset=3)
+
+        with pytest.raises(WindowError):
+            run_spmd(2, kernel, timeout=5.0)
+
+    def test_unknown_op_rejected(self):
+        def kernel(comm):
+            win = comm.win_create(8)
+            win.fence()
+            win.accumulate(np.array([1.0]), 0, op="xor")
+
+        with pytest.raises(WindowError):
+            run_spmd(2, kernel, timeout=5.0)
+
+    def test_bounds_rejected(self):
+        def kernel(comm):
+            win = comm.win_create(8)
+            win.fence()
+            win.accumulate(np.zeros(4), 0)
+
+        with pytest.raises(WindowError):
+            run_spmd(2, kernel, timeout=5.0)
+
+
+class TestLockAll:
+    def test_lock_all_epoch(self):
+        def kernel(comm):
+            win = comm.win_create(8)
+            win.local_view().view(np.float64)[0] = 0.0
+            comm.barrier()
+            win.lock_all()
+            for dst in range(comm.size):
+                win.accumulate(np.array([1.0]), dst, op="sum")
+            win.unlock_all()
+            comm.barrier()
+            v = float(win.local_view().view(np.float64)[0])
+            win.free()
+            return v
+
+        res = run_spmd(3, kernel)
+        assert all(v == 3.0 for v in res)

@@ -1,0 +1,116 @@
+"""Tests for the functional VirtualWorld and its traffic accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import CommunicatorError
+from repro.machine import SUMMIT, Topology
+from repro.runtime import VirtualWorld, run_spmd
+
+
+class TestExchange:
+    def test_sparse_exchange(self):
+        w = VirtualWorld(4)
+        got = w.exchange([(0, 3, np.arange(4.0)), (2, 1, np.ones(2))])
+        assert np.array_equal(got[(0, 3)], np.arange(4.0))
+        assert np.array_equal(got[(2, 1)], np.ones(2))
+
+    def test_exchange_copies_data(self):
+        w = VirtualWorld(2)
+        src = np.ones(3)
+        got = w.exchange([(0, 1, src)])
+        src[:] = -1
+        assert np.array_equal(got[(0, 1)], np.ones(3))
+
+    def test_duplicate_pair_rejected(self):
+        w = VirtualWorld(2)
+        with pytest.raises(CommunicatorError, match="duplicate"):
+            w.exchange([(0, 1, np.ones(1)), (0, 1, np.ones(1))])
+
+    def test_bad_rank_rejected(self):
+        w = VirtualWorld(2)
+        with pytest.raises(CommunicatorError):
+            w.exchange([(0, 5, np.ones(1))])
+
+    def test_self_message_allowed(self):
+        w = VirtualWorld(2)
+        got = w.exchange([(1, 1, np.arange(2.0))])
+        assert np.array_equal(got[(1, 1)], np.arange(2.0))
+
+
+class TestDenseAlltoallv:
+    def test_matches_thread_reference(self, rng):
+        """The functional alltoallv must deliver exactly what the thread
+        runtime's reference alltoallv delivers."""
+        p = 4
+        send = [[rng.random(3 + (s + d) % 3) for d in range(p)] for s in range(p)]
+
+        w = VirtualWorld(p)
+        virtual = w.alltoallv(send)
+
+        def kernel(comm):
+            return comm.alltoallv(send[comm.rank])
+
+        threaded = run_spmd(p, kernel)
+        for d in range(p):
+            for s in range(p):
+                assert np.array_equal(virtual[d][s], threaded[d][s])
+
+    def test_none_entries(self):
+        w = VirtualWorld(3)
+        send = [[None] * 3 for _ in range(3)]
+        send[0][2] = np.ones(5)
+        recv = w.alltoallv(send)
+        assert recv[2][0].size == 5
+        assert recv[1][0].size == 0
+
+    def test_shape_validation(self):
+        w = VirtualWorld(3)
+        with pytest.raises(CommunicatorError):
+            w.alltoallv([[None] * 2 for _ in range(3)])
+
+
+class TestTrafficAccounting:
+    def test_intra_inter_split(self):
+        topo = Topology(SUMMIT, 12)
+        w = VirtualWorld(12, topology=topo)
+        w.exchange(
+            [
+                (0, 5, np.zeros(10)),  # same node (node 0: ranks 0-5)
+                (0, 6, np.zeros(10)),  # cross node
+                (3, 3, np.zeros(10)),  # self
+            ]
+        )
+        t = w.traffic
+        assert t.intra_bytes == 80
+        assert t.inter_bytes == 80
+        assert t.local_bytes == 80
+        assert t.network_bytes == 160
+        assert t.total_bytes == 240
+        assert t.messages == 3
+
+    def test_no_topology_counts_everything_inter(self):
+        w = VirtualWorld(4)
+        w.exchange([(0, 1, np.zeros(4))])
+        assert w.traffic.inter_bytes == 32 and w.traffic.intra_bytes == 0
+
+    def test_reset(self):
+        w = VirtualWorld(2)
+        w.exchange([(0, 1, np.zeros(4))])
+        w.reset_traffic()
+        assert w.traffic.total_bytes == 0
+
+    def test_merge(self):
+        from repro.runtime.virtual import TrafficLog
+
+        a, b = TrafficLog(), TrafficLog()
+        a.record(0, 1, 100)
+        b.record(1, 0, 50)
+        a.merge(b)
+        assert a.messages == 2 and a.inter_bytes == 150
+
+    def test_topology_size_mismatch_rejected(self):
+        with pytest.raises(CommunicatorError):
+            VirtualWorld(6, topology=Topology(SUMMIT, 12))

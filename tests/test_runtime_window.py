@@ -1,0 +1,158 @@
+"""Tests for one-sided RMA windows (the Algorithm 3 substrate)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import WindowError
+from repro.runtime import run_spmd
+
+
+class TestWindowBasics:
+    def test_put_visible_after_fence(self):
+        def kernel(comm):
+            win = comm.win_create(8)
+            win.fence()
+            win.put(np.array([float(comm.rank + 1)]), (comm.rank + 1) % comm.size)
+            win.fence()
+            val = float(win.local_view().view(np.float64)[0])
+            win.free()
+            return val
+
+        res = run_spmd(4, kernel)
+        assert res == [4.0, 1.0, 2.0, 3.0]
+
+    def test_put_with_offset(self):
+        def kernel(comm):
+            win = comm.win_create(8 * comm.size)
+            win.fence()
+            # everyone writes its rank into slot `rank` of rank 0's window
+            win.put(np.array([float(comm.rank)]), 0, offset=8 * comm.rank)
+            win.fence()
+            out = win.local_view().view(np.float64).copy()
+            win.free()
+            return out
+
+        res = run_spmd(3, kernel)
+        assert np.array_equal(res[0], [0.0, 1.0, 2.0])
+
+    def test_get(self):
+        def kernel(comm):
+            win = comm.win_create(8)
+            win.local_view().view(np.float64)[0] = float(comm.rank * 10)
+            win.fence()
+            peer = (comm.rank + 1) % comm.size
+            data = win.get(8, peer).view(np.float64)
+            win.fence()
+            win.free()
+            return float(data[0])
+
+        res = run_spmd(3, kernel)
+        assert res == [10.0, 20.0, 0.0]
+
+    def test_lock_unlock_passive_target(self):
+        def kernel(comm):
+            win = comm.win_create(8)
+            win.fence()
+            if comm.rank != 0:
+                win.lock(0)
+                cur = win.get(8, 0).view(np.float64)[0]
+                win.put(np.array([cur + 1.0]), 0)
+                win.unlock(0)
+            comm.barrier()
+            val = float(win.local_view().view(np.float64)[0])
+            win.free()
+            return val
+
+        res = run_spmd(4, kernel)
+        assert res[0] == 3.0  # three atomic increments
+
+    def test_flush_is_noop_but_legal(self):
+        def kernel(comm):
+            win = comm.win_create(8)
+            win.fence()
+            win.put(np.zeros(1), (comm.rank + 1) % comm.size)
+            win.flush((comm.rank + 1) % comm.size)
+            win.flush()
+            win.fence()
+            win.free()
+            return True
+
+        assert all(run_spmd(2, kernel))
+
+
+class TestWindowErrors:
+    def test_put_out_of_bounds(self):
+        def kernel(comm):
+            win = comm.win_create(8)
+            win.fence()
+            win.put(np.zeros(2), 0)  # 16 bytes into an 8-byte window
+
+        with pytest.raises(WindowError):
+            run_spmd(2, kernel, timeout=5.0)
+
+    def test_get_out_of_bounds(self):
+        def kernel(comm):
+            win = comm.win_create(8)
+            win.fence()
+            win.get(16, 0)
+
+        with pytest.raises(WindowError):
+            run_spmd(2, kernel, timeout=5.0)
+
+    def test_negative_offset(self):
+        def kernel(comm):
+            win = comm.win_create(8)
+            win.fence()
+            win.put(np.zeros(1), 0, offset=-4)
+
+        with pytest.raises(WindowError):
+            run_spmd(2, kernel, timeout=5.0)
+
+    def test_double_lock_rejected(self):
+        def kernel(comm):
+            win = comm.win_create(8)
+            if comm.rank == 0:
+                win.lock(1)
+                win.lock(1)
+
+        with pytest.raises(WindowError):
+            run_spmd(2, kernel, timeout=5.0)
+
+    def test_unlock_without_lock_rejected(self):
+        def kernel(comm):
+            win = comm.win_create(8)
+            if comm.rank == 0:
+                win.unlock(1)
+
+        with pytest.raises(WindowError):
+            run_spmd(2, kernel, timeout=5.0)
+
+    def test_use_after_free_rejected(self):
+        def kernel(comm):
+            win = comm.win_create(8)
+            win.free()
+            win.put(np.zeros(1), 0)
+
+        with pytest.raises(WindowError):
+            run_spmd(2, kernel, timeout=5.0)
+
+    def test_multiple_windows_coexist(self):
+        def kernel(comm):
+            w1 = comm.win_create(8)
+            w2 = comm.win_create(16)
+            w1.fence()
+            w2.fence()
+            w1.put(np.array([1.0]), 0)
+            w2.put(np.array([2.0]), 0, offset=8)
+            w1.fence()
+            w2.fence()
+            a = float(w1.local_view().view(np.float64)[0]) if comm.rank == 0 else None
+            b = float(w2.local_view().view(np.float64)[1]) if comm.rank == 0 else None
+            w1.free()
+            w2.free()
+            return a, b
+
+        res = run_spmd(2, kernel)
+        assert res[0] == (1.0, 2.0)

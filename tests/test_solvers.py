@@ -1,0 +1,102 @@
+"""Tests for the spectral PDE solver (Algorithm 2) and tolerance balancing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import PlanError, ToleranceError
+from repro.solvers import (
+    SpectralPoissonSolver,
+    estimate_discretization_error,
+    solve_with_balanced_tolerance,
+)
+
+
+def trig_rhs(X, Y, Z):
+    """f = 4 sin(x) cos(y) sin(z)  =>  u = sin(x) cos(y) sin(z)."""
+    return 4.0 * np.sin(X) * np.cos(Y) * np.sin(Z)
+
+
+def trig_solution(X, Y, Z):
+    return np.sin(X) * np.cos(Y) * np.sin(Z)
+
+
+def gaussian_rhs(X, Y, Z):
+    """Smooth, periodic-ish bump (not band-limited)."""
+    r2 = (X - np.pi) ** 2 + (Y - np.pi) ** 2 + (Z - np.pi) ** 2
+    return np.exp(-1.5 * r2)
+
+
+class TestSpectralSolver:
+    def test_analytic_solution_exact(self):
+        solver = SpectralPoissonSolver((16, 16, 16), nranks=4)
+        X, Y, Z = solver.grid.mesh()
+        u = solver.solve(solver.sample(trig_rhs))
+        assert np.allclose(u, trig_solution(X, Y, Z), atol=1e-12)
+
+    def test_residual_small(self):
+        solver = SpectralPoissonSolver((16, 16, 16), nranks=2)
+        f = solver.sample(gaussian_rhs)
+        u = solver.solve(f)
+        assert solver.residual(u, f) < 1e-12
+
+    def test_distributed_matches_serial(self):
+        f1 = SpectralPoissonSolver((16, 16, 16), nranks=1)
+        f8 = SpectralPoissonSolver((16, 16, 16), nranks=8)
+        rhs = f1.sample(gaussian_rhs)
+        assert np.allclose(f1.solve(rhs), f8.solve(rhs), atol=1e-13)
+
+    def test_e_tol_controls_error(self):
+        exact = SpectralPoissonSolver((16, 16, 16), nranks=4)
+        rhs = exact.sample(trig_rhs)
+        u_ref = exact.solve(rhs)
+        for e_tol in (1e-4, 1e-7):
+            approx = SpectralPoissonSolver((16, 16, 16), nranks=4, e_tol=e_tol, data_hint="random")
+            u = approx.solve(rhs)
+            rel = np.linalg.norm(u - u_ref) / np.linalg.norm(u_ref)
+            assert rel < e_tol
+
+    def test_smooth_hint_uses_zfp(self):
+        from repro.compression import ZfpLikeCodec
+
+        solver = SpectralPoissonSolver((16, 16, 16), e_tol=1e-5, data_hint="smooth")
+        assert isinstance(solver.fft.codec, ZfpLikeCodec)
+
+    def test_shape_validation(self):
+        solver = SpectralPoissonSolver((8, 8, 8))
+        with pytest.raises(PlanError):
+            solver.solve(np.zeros((4, 4, 4)))
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(PlanError):
+            SpectralPoissonSolver((8, 8, 8), length=-1.0)
+
+
+class TestRefinement:
+    def test_bandlimited_estimate_tiny(self):
+        est = estimate_discretization_error(trig_rhs, (16, 16, 16))
+        assert est.estimate < 1e-10  # spectral: exact for band-limited data
+
+    def test_gaussian_estimate_decreases_with_resolution(self):
+        e8 = estimate_discretization_error(gaussian_rhs, (8, 8, 8)).estimate
+        e16 = estimate_discretization_error(gaussian_rhs, (16, 16, 16)).estimate
+        assert e16 < e8
+
+    def test_factor_validation(self):
+        with pytest.raises(ToleranceError):
+            estimate_discretization_error(trig_rhs, (16, 16, 16), factor=1)
+        with pytest.raises(ToleranceError):
+            estimate_discretization_error(trig_rhs, (15, 15, 15), factor=2)
+
+    def test_balanced_solve_end_to_end(self):
+        """Section III workflow: e_d estimate feeds e_tol; the sloppy
+        solve stays within ~the discretisation error of the exact one."""
+        u, est, solver = solve_with_balanced_tolerance(gaussian_rhs, (16, 16, 16))
+        exact = SpectralPoissonSolver((16, 16, 16))
+        u_ref = exact.solve(exact.sample(gaussian_rhs))
+        rel = np.linalg.norm(u - u_ref) / np.linalg.norm(u_ref)
+        assert rel <= 2.0 * est.estimate + 1e-12
+        # and the unlocked codec actually compresses
+        if solver.fft.codec is not None and solver.fft.codec.rate:
+            assert solver.fft.codec.rate >= 1.0

@@ -1,0 +1,65 @@
+"""Tests for mixed-precision iterative refinement (Section I motivation)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compression import CastCodec, MantissaTrimCodec
+from repro.errors import ToleranceError
+from repro.solvers import SpectralPoissonSolver, refine_poisson
+
+
+def _rhs(shape):
+    solver = SpectralPoissonSolver(shape)
+    X, Y, Z = solver.grid.mesh()
+    r2 = (X - np.pi) ** 2 + (Y - np.pi) ** 2 + (Z - np.pi) ** 2
+    return np.exp(-2.0 * r2), solver
+
+
+class TestRefinement:
+    def test_fp16_inner_reaches_fp64_accuracy(self):
+        """The paper's pitch: compute cheap, refine to full precision."""
+        f, exact = _rhs((16, 16, 16))
+        result = refine_poisson(f, (16, 16, 16), tol=1e-12)
+        assert result.converged
+        u_ref = exact.solve(f)
+        rel = np.linalg.norm(result.solution - u_ref) / np.linalg.norm(u_ref)
+        assert rel < 1e-11
+
+    def test_residual_contracts_monotonically(self):
+        f, _ = _rhs((16, 16, 16))
+        result = refine_poisson(f, (16, 16, 16), tol=1e-12)
+        h = result.residual_history
+        assert len(h) >= 3
+        assert all(b < a for a, b in zip(h, h[1:]))
+
+    def test_convergence_rate_tracks_inner_precision(self):
+        """A more accurate inner solver needs fewer iterations."""
+        f, _ = _rhs((16, 16, 16))
+        coarse = refine_poisson(f, (16, 16, 16), tol=1e-12, inner_codec=CastCodec("fp16", scaled=True))
+        fine = refine_poisson(f, (16, 16, 16), tol=1e-12, inner_codec=MantissaTrimCodec(36))
+        assert fine.iterations < coarse.iterations
+
+    def test_zero_rhs(self):
+        result = refine_poisson(np.zeros((8, 8, 8)), (8, 8, 8))
+        assert np.array_equal(result.solution, np.zeros((8, 8, 8)))
+
+    def test_distributed_inner_solver(self):
+        f, exact = _rhs((16, 16, 16))
+        result = refine_poisson(f, (16, 16, 16), nranks=8, tol=1e-12)
+        u_ref = exact.solve(f)
+        rel = np.linalg.norm(result.solution - u_ref) / np.linalg.norm(u_ref)
+        assert rel < 1e-11
+
+    def test_hopeless_codec_raises(self):
+        """An inner solve too lossy to contract must fail loudly."""
+        f, _ = _rhs((8, 8, 8))
+        with pytest.raises(ToleranceError, match="did not reach"):
+            refine_poisson(
+                f,
+                (8, 8, 8),
+                tol=1e-14,
+                max_iter=3,
+                inner_codec=MantissaTrimCodec(2),
+            )

@@ -1,0 +1,82 @@
+"""Failure-injection tests: corrupt wire frames and payloads.
+
+A library shipping compressed bytes across RMA windows must fail
+loudly, not silently decode garbage, when framing is violated.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collectives.wire import decode_wire, encode_wire, frame_length
+from repro.compression import CastCodec, IdentityCodec, MantissaTrimCodec, ZfpLikeCodec
+from repro.errors import CompressionError, ReproError
+
+
+class TestTruncatedFrames:
+    @pytest.mark.parametrize("keep", [0, 4, 8, 15])
+    def test_header_truncation_rejected(self, rng, keep):
+        frame = encode_wire(IdentityCodec().compress(rng.random(16)))
+        with pytest.raises(CompressionError):
+            decode_wire(frame[:keep])
+
+    def test_payload_truncation_rejected(self, rng):
+        frame = encode_wire(IdentityCodec().compress(rng.random(16)))
+        with pytest.raises(CompressionError):
+            decode_wire(frame[:-1])
+
+    def test_frame_length_on_short_input(self):
+        with pytest.raises(CompressionError):
+            frame_length(np.zeros(4, dtype=np.uint8))
+
+    @given(st.integers(min_value=0, max_value=200))
+    @settings(max_examples=30, deadline=None)
+    def test_random_truncation_never_crashes_weirdly(self, cut):
+        """Any truncation raises a library error (or decodes when the
+        cut is beyond the frame) — never an unhandled exception type."""
+        rng = np.random.default_rng(0)
+        frame = encode_wire(CastCodec("fp32").compress(rng.random(8)))
+        data = frame[: min(cut, frame.size)]
+        try:
+            decode_wire(data)
+        except ReproError:
+            pass  # expected failure mode
+        except Exception as exc:  # noqa: BLE001
+            pytest.fail(f"unexpected exception type: {type(exc).__name__}: {exc}")
+
+
+class TestCorruptPayloads:
+    def test_trim_codec_detects_bad_length(self, rng):
+        codec = MantissaTrimCodec(23)
+        msg = codec.compress(rng.random(10))
+        msg.payload = msg.payload[:-2]
+        with pytest.raises(CompressionError):
+            codec.decompress(msg)
+
+    def test_zfp_detects_short_bitstream(self, rng):
+        codec = ZfpLikeCodec(rate=4.0)
+        msg = codec.compress(rng.random(200))
+        msg.payload = msg.payload[: msg.payload.size // 2]
+        with pytest.raises(CompressionError):
+            codec.decompress(msg)
+
+    def test_bitflips_do_not_crash(self, rng):
+        """Bit flips in a fixed-rate payload decode to *wrong values*,
+        never to crashes (the stream is self-sized)."""
+        codec = CastCodec("fp32")
+        x = rng.random(64)
+        msg = codec.compress(x)
+        for pos in (0, 17, 100, 255):
+            corrupted = msg.payload.copy()
+            corrupted[pos % corrupted.size] ^= 0xFF
+            msg2 = type(msg)(msg.codec_name, corrupted, msg.dtype_name, msg.shape, msg.header)
+            out = codec.decompress(msg2)
+            assert out.shape == x.shape  # shape integrity survives
+
+    def test_wrong_codec_name_rejected(self, rng):
+        msg = CastCodec("fp32").compress(rng.random(8))
+        with pytest.raises(CompressionError):
+            CastCodec("fp16").decompress(msg)
