@@ -18,6 +18,7 @@ Package map (see DESIGN.md for the full inventory):
 * :mod:`repro.compression` — cast / trim / ZFP-like / lossless codecs
 * :mod:`repro.runtime` — MPI-like thread & virtual runtimes (RMA windows)
 * :mod:`repro.collectives` — pairwise ring, OSC ring, compressed OSC
+* :mod:`repro.faults` — fault injection, retry policies, resilience reports
 * :mod:`repro.machine` / :mod:`repro.netsim` — Summit model + cost models
 * :mod:`repro.fft` — heFFTe-style distributed FFT (the core, Algorithm 1)
 * :mod:`repro.solvers` — spectral PDE solver (Algorithm 2)
@@ -34,6 +35,7 @@ from repro.compression import (
     codec_for_tolerance,
 )
 from repro.errors import ReproError
+from repro.faults import FaultPlan, FaultRule, ResilienceReport, RetryPolicy
 from repro.fft import Fft2d, Fft3d, Rfft3d
 from repro.machine import SUMMIT, MachineSpec, Topology
 from repro.precision import BF16, FP16, FP32, FP64, trim_mantissa
@@ -66,6 +68,11 @@ __all__ = [
     "ThreadWorld",
     "VirtualWorld",
     "run_spmd",
+    # faults / resilience
+    "FaultPlan",
+    "FaultRule",
+    "RetryPolicy",
+    "ResilienceReport",
     # core
     "Fft3d",
     "Fft2d",

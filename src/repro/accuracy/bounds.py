@@ -19,10 +19,18 @@ from __future__ import annotations
 
 import math
 
-from repro.errors import ModelError
+import numpy as np
+
+from repro.errors import ModelError, ToleranceError
 from repro.utils.primes import prime_factors
 
-__all__ = ["dft_roundoff_bound", "fft_roundoff_bound", "truncation_error_model"]
+__all__ = [
+    "dft_roundoff_bound",
+    "fft_roundoff_bound",
+    "truncation_error_model",
+    "achieved_relative_error",
+    "tolerance_exceeded",
+]
 
 #: Double-precision machine epsilon (unit round-off * 2).
 EPS_FP64 = 2.0**-52
@@ -61,3 +69,37 @@ def truncation_error_model(mantissa_bits: int, n_compressions: int = 1) -> float
         raise ModelError("n_compressions must be >= 0")
     u = 2.0 ** -(mantissa_bits + 1)
     return n_compressions * u / math.sqrt(3.0)
+
+
+def achieved_relative_error(original: np.ndarray, restored: np.ndarray) -> float:
+    """Realised relative L-inf error of one compressed round trip.
+
+    This is the per-message quantity the resilient collectives compare
+    against ``e_tol``: unlike the a-priori bounds above it measures the
+    actual perturbation a codec introduced, so data-dependent codecs
+    (scaled casts, ZFP-like blocks) are held to the tolerance too.
+    ``0/0 -> 0`` (an all-zero message is transported exactly).
+    """
+    x = np.asarray(original, dtype=np.float64).reshape(-1)
+    y = np.asarray(restored, dtype=np.float64).reshape(-1)
+    if x.shape != y.shape:
+        raise ModelError(f"shape mismatch: {x.shape} vs {y.shape}")
+    denom = float(np.max(np.abs(x))) if x.size else 0.0
+    diff = float(np.max(np.abs(x - y))) if x.size else 0.0
+    if denom == 0.0:
+        return diff
+    return diff / denom
+
+
+def tolerance_exceeded(achieved: float, e_tol: float) -> bool:
+    """Does a realised error violate the user's tolerance ``e_tol``?
+
+    The hook used by :class:`~repro.collectives.compressed.CompressedOscAlltoallv`
+    to decide per-message degradation from the lossy codec to the
+    lossless fallback.
+    """
+    if e_tol <= 0.0:
+        raise ToleranceError(f"e_tol must be > 0, got {e_tol}")
+    if not math.isfinite(achieved) or achieved < 0.0:
+        return True
+    return achieved > e_tol

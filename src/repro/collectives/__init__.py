@@ -15,19 +15,22 @@ Three interchangeable implementations of the generalized all-to-all
   puts mirroring the GPU-stream pipeline.
 """
 
-from repro.collectives.compressed import CompressedOscAlltoallv
+from repro.collectives.compressed import CompressedOscAlltoallv, ExchangeStats
 from repro.collectives.osc import OscAlltoallv, osc_alltoallv
 from repro.collectives.pairwise import pairwise_alltoallv
 from repro.collectives.variants import bruck_alltoall, linear_alltoallv
-from repro.collectives.wire import decode_wire, encode_wire
+from repro.collectives.wire import WIRE_MAGIC, WIRE_VERSION, decode_wire, encode_wire
 
 __all__ = [
     "pairwise_alltoallv",
     "OscAlltoallv",
     "osc_alltoallv",
     "CompressedOscAlltoallv",
+    "ExchangeStats",
     "linear_alltoallv",
     "bruck_alltoall",
     "encode_wire",
     "decode_wire",
+    "WIRE_MAGIC",
+    "WIRE_VERSION",
 ]

@@ -1,4 +1,4 @@
-"""Compression-integrated one-sided all-to-all (Section V-B).
+"""Compression-integrated one-sided all-to-all (Section V-B), self-healing.
 
 Adds the two steps the paper describes on top of Algorithm 3:
 
@@ -10,6 +10,17 @@ Adds the two steps the paper describes on top of Algorithm 3:
    buffer later, once communications are done" — the RMA API lacks the
    constructs for target-side pipelining).
 
+On top of that the exchange is *resilient*: every frame on the wire is
+checksummed (wire format v2), decode failures are detected per source
+block, and a bounded recovery protocol retransmits failed blocks —
+first with the original codec per the :class:`~repro.faults.RetryPolicy`,
+then walking the degradation ladder **lossy -> lossless -> raw FP64**.
+Transient codec failures at compress time and per-message ``e_tol``
+violations degrade the same way.  Everything the machinery does is
+recorded in a per-exchange :class:`~repro.faults.ResilienceReport`
+(:attr:`last_report`); when nothing goes wrong the report is empty and
+the exchange is byte-identical to the non-resilient one.
+
 The GPU-stream pipeline (compress chunk *k+1* while chunk *k* flies) is
 mirrored functionally by splitting each message into ``pipeline_chunks``
 fragments, compressing and putting them one at a time; its *timing*
@@ -20,6 +31,7 @@ volume reduction that drives the speedup.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -27,13 +39,24 @@ import numpy as np
 
 from repro.collectives.pairwise import ring_peers
 from repro.collectives.wire import decode_wire, encode_wire, frame_length
-from repro.compression.base import Codec
-from repro.errors import CommunicatorError
+from repro.compression.base import Codec, CompressedMessage, IdentityCodec
+from repro.compression.lossless import ShuffleZlibCodec
+from repro.errors import (
+    CommunicatorError,
+    CompressionError,
+    RetryExhaustedError,
+    TransientCodecError,
+    WireIntegrityError,
+)
+from repro.faults import ResilienceReport, RetryPolicy
 from repro.machine.topology import Topology
 from repro.runtime.base import Comm
 from repro.runtime.window import Window
 
 __all__ = ["CompressedOscAlltoallv", "ExchangeStats"]
+
+#: Tag base for recovery-round retransmissions (control plane).
+_RETRY_TAG = -7000
 
 
 @dataclass
@@ -43,6 +66,8 @@ class ExchangeStats:
     sent_messages: int = 0
     original_bytes: int = 0
     wire_bytes: int = 0
+    retransmissions: int = 0
+    retransmitted_bytes: int = 0
 
     @property
     def achieved_rate(self) -> float:
@@ -50,7 +75,7 @@ class ExchangeStats:
 
 
 class CompressedOscAlltoallv:
-    """One-sided ring all-to-all with on-the-fly compression.
+    """One-sided ring all-to-all with on-the-fly compression + recovery.
 
     Parameters
     ----------
@@ -63,6 +88,18 @@ class CompressedOscAlltoallv:
     pipeline_chunks:
         Number of fragments each message is split into, mirroring the
         CUDA-stream compression/transfer pipeline.  1 = no chunking.
+    retry_policy:
+        Bounded retry/backoff schedule for recovery rounds.  Defaults
+        to :class:`RetryPolicy`\\ ``()`` (2 same-codec retries);
+        :meth:`RetryPolicy.disabled` degrades on the first failure.
+    e_tol:
+        Optional per-message error tolerance.  When set, each lossy
+        message is round-tripped locally before the put; if the
+        achieved relative error exceeds ``e_tol`` the message is sent
+        through the lossless fallback instead.
+    lossless_fallback:
+        Lossless codec used by the degradation ladder (default:
+        byte-shuffle + zlib).
     """
 
     def __init__(
@@ -72,6 +109,9 @@ class CompressedOscAlltoallv:
         *,
         topology: Topology | None = None,
         pipeline_chunks: int = 1,
+        retry_policy: RetryPolicy | None = None,
+        e_tol: float | None = None,
+        lossless_fallback: Codec | None = None,
     ) -> None:
         if topology is not None and topology.nranks != comm.size:
             raise CommunicatorError("topology size does not match communicator size")
@@ -81,7 +121,16 @@ class CompressedOscAlltoallv:
         self.codec = codec
         self.topology = topology
         self.pipeline_chunks = int(pipeline_chunks)
+        self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
+        self.e_tol = e_tol
+        self._lossless = lossless_fallback if lossless_fallback is not None else ShuffleZlibCodec(level=1)
+        if not self._lossless.lossless:
+            raise CommunicatorError(
+                f"lossless_fallback must be lossless, got {self._lossless.name}"
+            )
+        self._raw = IdentityCodec()
         self.last_stats = ExchangeStats()
+        self.last_report = ResilienceReport(rank=comm.rank)
         self._win: Window | None = None
         self._win_capacity = -1
 
@@ -92,6 +141,29 @@ class CompressedOscAlltoallv:
         if self.pipeline_chunks == 1 or data.size <= 1:
             return [data]
         return [c for c in np.array_split(data, self.pipeline_chunks) if c.size]
+
+    def _ladder(self) -> list[Codec]:
+        """Degradation ladder: primary -> lossless fallback -> raw FP64."""
+        ladder: list[Codec] = [self.codec]
+        for fallback in (self._lossless, self._raw):
+            if all(fallback.name != c.name for c in ladder):
+                ladder.append(fallback)
+        return ladder
+
+    def _decompress(self, msg: CompressedMessage) -> np.ndarray:
+        """Resolve the decompressor from the frame's codec name.
+
+        Degraded retransmissions arrive encoded by a ladder codec, not
+        necessarily the primary one.
+        """
+        for codec in (self.codec, self._lossless, self._raw):
+            if msg.codec_name == codec.name:
+                return codec.decompress(msg)
+        raise CompressionError(f"frame names unknown codec {msg.codec_name!r}")
+
+    def _injector(self):
+        world = getattr(self.comm, "world", None)
+        return getattr(world, "injector", None)
 
     def _ensure_window(self, my_total: int) -> Window:
         """Collectively (re)create the staging window when too small.
@@ -116,6 +188,180 @@ class CompressedOscAlltoallv:
             self._win = None
             self._win_capacity = -1
 
+    # -- encode side ----------------------------------------------------------------
+
+    def _compress_fragment(
+        self, frag: np.ndarray, dest: int, report: ResilienceReport
+    ) -> CompressedMessage:
+        """Compress one fragment, riding out transient codec failures.
+
+        Same-codec retries follow the policy's backoff; once exhausted
+        the ladder steps down (the fallback is then also given
+        ``max_attempts`` tries before the next step).
+        """
+        injector = self._injector()
+        policy = self.retry_policy
+        ladder = self._ladder()
+        step, retries_in_step = 0, 0
+        while True:
+            codec = ladder[step]
+            try:
+                if injector is not None:
+                    injector.codec_fault(self.comm.rank, dest)
+                msg = codec.compress(frag)
+            except TransientCodecError as exc:
+                report.record("transient-codec", peer=dest, codec=codec.name, detail=str(exc))
+                if retries_in_step < policy.max_attempts:
+                    delay = policy.delay(retries_in_step)
+                    report.record("retry", peer=dest, attempt=retries_in_step, codec=codec.name)
+                    if delay > 0.0:
+                        time.sleep(delay)
+                    retries_in_step += 1
+                    continue
+                step += 1
+                retries_in_step = 0
+                if step >= len(ladder):
+                    raise RetryExhaustedError(
+                        f"rank {self.comm.rank}: compression for rank {dest} failed "
+                        f"through the whole ladder"
+                    ) from exc
+                report.record("degrade", peer=dest, codec=ladder[step].name,
+                              detail=f"{codec.name} -> {ladder[step].name} (transient failures)")
+                continue
+            if self.e_tol is not None and not codec.lossless:
+                # Lazy import: repro.accuracy pulls in the FFT layer,
+                # which itself imports this module at load time.
+                from repro.accuracy.bounds import achieved_relative_error, tolerance_exceeded
+
+                exceeded = tolerance_exceeded(
+                    achieved_relative_error(frag, codec.decompress(msg)), self.e_tol
+                )
+            else:
+                exceeded = False
+            if exceeded:
+                report.record("tolerance-exceeded", peer=dest, codec=codec.name,
+                              detail=f"e_tol={self.e_tol:g}")
+                lossless_step = next(i for i, c in enumerate(ladder) if c.lossless)
+                step = max(step, lossless_step)
+                report.record("degrade", peer=dest, codec=ladder[step].name,
+                              detail=f"{codec.name} -> {ladder[step].name} (e_tol)")
+                continue
+            return msg
+
+    def _encode_block(
+        self,
+        arr: np.ndarray,
+        dest: int,
+        codec: Codec | None,
+        report: ResilienceReport,
+        stats: ExchangeStats | None,
+    ) -> list[np.ndarray]:
+        """Encode one destination's data into wire frames.
+
+        ``codec=None`` uses the resilient primary path (transient-fault
+        retries + e_tol check); recovery rounds pass an explicit ladder
+        codec instead.
+        """
+        frames: list[np.ndarray] = []
+        for frag in self._split(arr):
+            if codec is None:
+                msg = self._compress_fragment(frag, dest, report)
+            else:
+                msg = codec.compress(frag)
+            if stats is not None:
+                stats.sent_messages += 1
+                stats.original_bytes += 8 * msg.n_values
+                stats.wire_bytes += msg.nbytes
+            frames.append(encode_wire(msg))
+        return frames
+
+    # -- decode side -----------------------------------------------------------------
+
+    def _decode_region(self, region: np.ndarray) -> np.ndarray:
+        """Walk and decode the checksummed frames of one source block."""
+        parts: list[np.ndarray] = []
+        pos = 0
+        while pos < region.size:
+            msg = decode_wire(region[pos:])
+            pos += frame_length(region[pos:])
+            parts.append(self._decompress(msg))
+        return parts[0] if len(parts) == 1 else np.concatenate(parts)
+
+    # -- recovery --------------------------------------------------------------------
+
+    def _recover(
+        self,
+        arrays: list[np.ndarray | None],
+        recv: list[np.ndarray | None],
+        failed: list[int],
+        report: ResilienceReport,
+        stats: ExchangeStats,
+    ) -> None:
+        """Collective recovery rounds: retransmit failed blocks two-sided.
+
+        Every rank participates in each round (the failure sets are
+        agreed via allgather) so senders and receivers stay matched.
+        Rounds ``0 .. max_attempts-1`` retransmit with the original
+        codec; the next rounds walk the ladder (lossless, then raw).
+        When the ladder is exhausted a typed error is raised — never a
+        silent corruption.
+        """
+        comm, policy = self.comm, self.retry_policy
+        ladder = self._ladder()
+        needs: list[list[int]] = comm.allgather(sorted(failed))
+        attempt = 0
+        prev_codec = ladder[0].name
+        while any(needs):
+            extra = attempt - policy.max_attempts
+            if extra < 0:
+                codec = ladder[0]
+            elif 1 + extra < len(ladder):
+                codec = ladder[1 + extra]
+            else:
+                raise RetryExhaustedError(
+                    f"rank {comm.rank}: blocks from rank(s) {sorted(failed)} still "
+                    f"corrupt after {attempt} recovery round(s) ending at raw FP64"
+                )
+            involved = bool(failed) or any(comm.rank in sources for sources in needs)
+            if codec.name != prev_codec and involved:
+                report.record("degrade", attempt=attempt, codec=codec.name,
+                              detail=f"recovery ladder {prev_codec} -> {codec.name}")
+            prev_codec = codec.name
+            if extra < 0:
+                delay = policy.delay(attempt)
+                if delay > 0.0:
+                    time.sleep(delay)
+            tag = _RETRY_TAG - attempt
+            # Retransmit my block to every rank that failed to decode it.
+            for dest, sources in enumerate(needs):
+                if comm.rank not in sources:
+                    continue
+                arr = arrays[dest]
+                assert arr is not None  # zero-size blocks cannot fail decode
+                frames = self._encode_block(arr, dest, codec, report, None)
+                blob = frames[0] if len(frames) == 1 else np.concatenate(frames)
+                report.record("retransmit", peer=dest, attempt=attempt, codec=codec.name)
+                stats.retransmissions += 1
+                stats.retransmitted_bytes += int(blob.size)
+                comm.send(blob, dest, tag=tag)
+            # Collect retransmissions for my failed blocks.
+            still_failed: list[int] = []
+            for source in sorted(failed):
+                if extra < 0:
+                    report.record("retry", peer=source, attempt=attempt, codec=codec.name)
+                region = comm.recv(source, tag=tag)
+                try:
+                    recv[source] = self._decode_region(np.ascontiguousarray(region, dtype=np.uint8))
+                except CompressionError as exc:
+                    report.record("integrity-failure", peer=source, attempt=attempt,
+                                  detail=str(exc))
+                    still_failed.append(source)
+                else:
+                    report.record("recovered", peer=source, attempt=attempt, codec=codec.name)
+            failed = still_failed
+            needs = comm.allgather(sorted(failed))
+            attempt += 1
+
     # -- the exchange ----------------------------------------------------------------
 
     def __call__(self, send: Sequence[np.ndarray | None]) -> list[np.ndarray]:
@@ -124,23 +370,21 @@ class CompressedOscAlltoallv:
         if len(send) != p:
             raise CommunicatorError(f"send list has {len(send)} entries for {p} ranks")
         stats = ExchangeStats()
+        report = ResilienceReport(rank=comm.rank)
 
         # Step 1: compress into internal staging buffers (never in place).
+        arrays: list[np.ndarray | None] = []
         frames: list[list[np.ndarray]] = []
         frame_sizes = np.zeros(p, dtype=np.int64)
         for dest in range(p):
             data = send[dest]
             if data is None or np.asarray(data).size == 0:
+                arrays.append(None)
                 frames.append([])
                 continue
             arr = np.ascontiguousarray(data)
-            dest_frames = []
-            for frag in self._split(arr):
-                msg = self.codec.compress(frag)
-                stats.sent_messages += 1
-                stats.original_bytes += 8 * msg.n_values
-                stats.wire_bytes += msg.nbytes
-                dest_frames.append(encode_wire(msg))
+            arrays.append(arr)
+            dest_frames = self._encode_block(arr, dest, None, report, stats)
             frames.append(dest_frames)
             frame_sizes[dest] = sum(f.size for f in dest_frames)
 
@@ -164,23 +408,39 @@ class CompressedOscAlltoallv:
             for frag in dest_frames:
                 win.put(frag, dest, offset=offset)
                 offset += frag.size
+
         win.fence()
 
-        # Step 2: decompress the entire received buffer.
+        # Step 2: decompress the entire received buffer, CRC-checked per
+        # frame; blocks that fail integrity are queued for recovery.
         local = win.local_view()
-        recv: list[np.ndarray] = []
+        recv: list[np.ndarray | None] = [None] * p
+        failed: list[int] = []
         for s in range(p):
             size = int(all_sizes[s, comm.rank])
             if size == 0:
-                recv.append(np.zeros(0, dtype=np.float64))
+                recv[s] = np.zeros(0, dtype=np.float64)
                 continue
             region = local[int(recv_offsets[s]) : int(recv_offsets[s]) + size]
-            parts: list[np.ndarray] = []
-            pos = 0
-            while pos < region.size:
-                msg = decode_wire(region[pos:])
-                pos += frame_length(region[pos:])
-                parts.append(self.codec.decompress(msg))
-            recv.append(parts[0] if len(parts) == 1 else np.concatenate(parts))
+            try:
+                recv[s] = self._decode_region(region)
+            except CompressionError as exc:
+                report.record("integrity-failure", peer=s, detail=str(exc))
+                failed.append(s)
+
+        # Step 3: collective recovery rounds.  Only runs under an active
+        # fault plan — injector presence is world-global, so every rank
+        # takes the same branch and the recovery collectives stay
+        # matched.  A CRC failure with *no* fault source is a real
+        # transport/codec bug: raise it rather than mask it with a
+        # retransmission.
+        if self._injector() is not None:
+            self._recover(arrays, recv, failed, report, stats)
+        elif failed:
+            raise WireIntegrityError(
+                f"rank {comm.rank}: corrupted block(s) from rank(s) {sorted(failed)} "
+                f"with no fault plan active"
+            )
         self.last_stats = stats
-        return recv
+        self.last_report = report
+        return recv  # type: ignore[return-value]

@@ -11,22 +11,41 @@ Window creation "is a collective operation and therefore has a high
 cost.  However, when the all-to-all is performed multiple times on the
 same memory fragment, it is possible to cache this window" — hence the
 class form: one :class:`OscAlltoallv` instance caches its window across
-calls and only re-creates it (collectively, deterministically on all
-ranks) when the exchanged sizes change.
+calls.  The cached window is reused as long as every rank's receive
+volume still *fits* its existing buffer; it is only re-created
+(collectively, deterministically on all ranks) when some rank outgrows
+its capacity — a shrinking size matrix keeps the window, preserving the
+paper's caching argument for variable loads.
+
+With ``verify=True`` the exchange is self-checking: per-block CRC32
+checksums are agreed alongside the size matrix, verified after the
+closing fence, and mismatching blocks are retransmitted two-sided under
+the :class:`~repro.faults.RetryPolicy`; the outcome is recorded in
+:attr:`OscAlltoallv.last_report`.
 """
 
 from __future__ import annotations
 
+import time
+import zlib
 from typing import Sequence
 
 import numpy as np
 
-from repro.errors import CommunicatorError
+from repro.errors import CommunicatorError, RetryExhaustedError
+from repro.faults import ResilienceReport, RetryPolicy
 from repro.machine.topology import Topology
 from repro.runtime.base import Comm
 from repro.runtime.window import Window
 
 __all__ = ["OscAlltoallv", "osc_alltoallv"]
+
+#: Tag base for verify-mode retransmissions (control plane).
+_VERIFY_TAG = -7500
+
+
+def _crc(chunk: np.ndarray) -> int:
+    return zlib.crc32(chunk.tobytes()) & 0xFFFFFFFF
 
 
 class OscAlltoallv:
@@ -39,34 +58,50 @@ class OscAlltoallv:
     topology:
         Optional machine topology enabling the node-aware ring
         permutation (Section V).
+    verify:
+        Checksum every block (CRC32 agreed with the size matrix) and
+        retransmit corrupted ones two-sided.
+    retry_policy:
+        Bounded retry/backoff schedule for verify-mode recovery.
     """
 
-    def __init__(self, comm: Comm, *, topology: Topology | None = None) -> None:
+    def __init__(
+        self,
+        comm: Comm,
+        *,
+        topology: Topology | None = None,
+        verify: bool = False,
+        retry_policy: RetryPolicy | None = None,
+    ) -> None:
         if topology is not None and topology.nranks != comm.size:
             raise CommunicatorError("topology size does not match communicator size")
         self.comm = comm
         self.topology = topology
+        self.verify = bool(verify)
+        self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
+        self.last_report = ResilienceReport(rank=comm.rank)
         self._win: Window | None = None
-        self._win_capacity = -1
-        self._cached_sizes: tuple[tuple[int, ...], ...] | None = None
+        self._capacities: np.ndarray | None = None
 
     # -- window management ------------------------------------------------------
 
     def _ensure_window(self, all_sizes: np.ndarray) -> tuple[Window, np.ndarray]:
-        """(Re)create the cached window when the size matrix changed.
+        """(Re)create the cached window only when some rank outgrows it.
 
         ``all_sizes[s, d]`` = bytes rank ``s`` sends to rank ``d``.  The
-        decision is a pure function of ``all_sizes`` (identical on every
-        rank), keeping creation collective.
+        decision is a pure function of the ``all_sizes`` history
+        (identical on every rank), keeping creation collective.  A size
+        matrix that needs *less* capacity everywhere reuses the cached
+        window — offsets are recomputed per call, the window is just a
+        byte arena.
         """
-        key = tuple(map(tuple, all_sizes.tolist()))
-        my_total = int(all_sizes[:, self.comm.rank].sum())
-        if self._win is None or self._cached_sizes != key or self._win_capacity < my_total:
+        totals = all_sizes.sum(axis=0).astype(np.int64)  # totals[d] = bytes d receives
+        if self._win is None or self._capacities is None or bool(np.any(totals > self._capacities)):
             if self._win is not None:
                 self._win.free()
-            self._win = self.comm.win_create(my_total)
-            self._win_capacity = my_total
-            self._cached_sizes = key
+            caps = totals if self._capacities is None else np.maximum(totals, self._capacities)
+            self._win = self.comm.win_create(int(caps[self.comm.rank]))
+            self._capacities = caps
         # Receive offsets: source s lands at sum of earlier sources' sizes.
         offsets = np.concatenate([[0], np.cumsum(all_sizes[:, self.comm.rank])[:-1]])
         return self._win, offsets.astype(np.int64)
@@ -76,8 +111,50 @@ class OscAlltoallv:
         if self._win is not None:
             self._win.free()
             self._win = None
-            self._win_capacity = -1
-            self._cached_sizes = None
+            self._capacities = None
+
+    # -- verify-mode recovery ------------------------------------------------------
+
+    def _recover(
+        self,
+        chunks: list[np.ndarray],
+        recv: list[np.ndarray],
+        all_crcs: np.ndarray,
+        failed: list[int],
+        report: ResilienceReport,
+    ) -> None:
+        """Retransmit corrupted blocks two-sided until clean or exhausted."""
+        comm, policy = self.comm, self.retry_policy
+        needs: list[list[int]] = comm.allgather(sorted(failed))
+        attempt = 0
+        while any(needs):
+            if attempt > policy.max_attempts:
+                raise RetryExhaustedError(
+                    f"rank {comm.rank}: raw blocks from rank(s) {sorted(failed)} "
+                    f"still corrupt after {attempt} retransmission(s)"
+                )
+            delay = policy.delay(attempt) if attempt > 0 else 0.0
+            if delay > 0.0:
+                time.sleep(delay)
+            tag = _VERIFY_TAG - attempt
+            for dest, sources in enumerate(needs):
+                if comm.rank in sources:
+                    report.record("retransmit", peer=dest, attempt=attempt)
+                    comm.send(chunks[dest], dest, tag=tag)
+            still_failed: list[int] = []
+            for source in sorted(failed):
+                report.record("retry", peer=source, attempt=attempt)
+                block = np.ascontiguousarray(comm.recv(source, tag=tag), dtype=np.uint8)
+                if block.size != recv[source].size or _crc(block) != int(all_crcs[source, comm.rank]):
+                    report.record("integrity-failure", peer=source, attempt=attempt,
+                                  detail="retransmitted block checksum mismatch")
+                    still_failed.append(source)
+                else:
+                    recv[source] = block
+                    report.record("recovered", peer=source, attempt=attempt)
+            failed = still_failed
+            needs = comm.allgather(sorted(failed))
+            attempt += 1
 
     # -- the exchange -------------------------------------------------------------
 
@@ -91,6 +168,7 @@ class OscAlltoallv:
         comm, p = self.comm, self.comm.size
         if len(send) != p:
             raise CommunicatorError(f"send list has {len(send)} entries for {p} ranks")
+        report = ResilienceReport(rank=comm.rank)
         chunks = [
             np.zeros(0, dtype=np.uint8)
             if c is None
@@ -98,7 +176,14 @@ class OscAlltoallv:
             for c in send
         ]
         my_sizes = np.array([c.size for c in chunks], dtype=np.int64)
-        all_sizes = np.array(comm.allgather(my_sizes.tolist()), dtype=np.int64)
+        if self.verify:
+            my_crcs = [_crc(c) for c in chunks]
+            gathered = comm.allgather((my_sizes.tolist(), my_crcs))
+            all_sizes = np.array([g[0] for g in gathered], dtype=np.int64)
+            all_crcs = np.array([g[1] for g in gathered], dtype=np.int64)
+        else:
+            all_sizes = np.array(comm.allgather(my_sizes.tolist()), dtype=np.int64)
+            all_crcs = None
 
         win, offsets = self._ensure_window(all_sizes)
 
@@ -119,6 +204,17 @@ class OscAlltoallv:
         for s in range(p):
             size = int(all_sizes[s, comm.rank])
             recv.append(local[int(offsets[s]) : int(offsets[s]) + size].copy())
+
+        if self.verify:
+            failed = [
+                s
+                for s in range(p)
+                if recv[s].size and _crc(recv[s]) != int(all_crcs[s, comm.rank])
+            ]
+            for s in failed:
+                report.record("integrity-failure", peer=s, detail="block checksum mismatch")
+            self._recover(chunks, recv, all_crcs, failed, report)
+        self.last_report = report
         return recv
 
 
@@ -127,9 +223,11 @@ def osc_alltoallv(
     send: Sequence[np.ndarray | None],
     *,
     topology: Topology | None = None,
+    verify: bool = False,
+    retry_policy: RetryPolicy | None = None,
 ) -> list[np.ndarray]:
     """One-shot helper (no window caching): build, exchange, free."""
-    op = OscAlltoallv(comm, topology=topology)
+    op = OscAlltoallv(comm, topology=topology, verify=verify, retry_policy=retry_policy)
     try:
         return op(send)
     finally:

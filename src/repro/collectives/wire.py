@@ -1,78 +1,199 @@
-"""Byte-level framing of compressed messages for RMA transport.
+"""Byte-level framing of compressed messages for RMA transport (v2).
 
 One-sided puts move raw bytes into a remote window, so a
 :class:`~repro.compression.base.CompressedMessage` must be flattened
 into a self-describing byte stream and re-inflated on the target.  The
-frame is::
+v2 frame is::
 
-    [u64 meta_len][u64 payload_len][pickled metadata][payload bytes]
+    offset  size  field
+    ------  ----  -----------------------------------------------
+    0       4     magic ``b"RPW2"``
+    4       1     format version (2)
+    5       1     flags (reserved, 0)
+    6       2     reserved (0)
+    8       8     u64 meta_len
+    16      8     u64 payload_len
+    24      4     u32 CRC32 of the metadata bytes
+    28      4     u32 CRC32 of the payload bytes
+    32      ...   pickled metadata, then payload bytes
 
 Frames are self-delimiting (needed when several pipeline fragments land
-back-to-back in one window region).  The metadata pickle carries only
-small plain values (codec name, dtype, shape, scalar header entries) —
-never data — so its cost is a constant few hundred bytes per message and
-is excluded from the *modelled* wire size (``CompressedMessage.nbytes``),
-matching how a C implementation would pack a fixed small header.
+back-to-back in one window region) and now *self-validating*: a flipped
+bit anywhere — header, metadata or payload — surfaces as a typed
+:class:`~repro.errors.WireIntegrityError` instead of unpickling
+garbage.  The metadata pickle carries only small plain values (codec
+name, dtype, shape, scalar header entries) — never data — and is
+deserialized through a restricted unpickler that refuses every global
+lookup outside a tiny builtin allow-list, so a corrupted (or hostile)
+frame cannot execute code.  Metadata cost stays a constant few dozen
+bytes per message and is excluded from the *modelled* wire size
+(``CompressedMessage.nbytes``), matching how a C implementation would
+pack a fixed small header.
 """
 
 from __future__ import annotations
 
+import io
 import pickle
+import struct
+import zlib
 
 import numpy as np
 
 from repro.compression.base import CompressedMessage
-from repro.errors import CompressionError
+from repro.errors import WireIntegrityError
 
-__all__ = ["encode_wire", "decode_wire", "frame_length", "wire_overhead"]
+__all__ = [
+    "WIRE_MAGIC",
+    "WIRE_VERSION",
+    "encode_wire",
+    "decode_wire",
+    "frame_length",
+    "wire_overhead",
+]
 
-_HDR_BYTES = 16
+WIRE_MAGIC = b"RPW2"
+WIRE_VERSION = 2
+
+#: Header layout: magic, version, flags, reserved, meta_len, payload_len,
+#: meta_crc, payload_crc.
+_HDR_STRUCT = struct.Struct("<4sBBHQQII")
+_HDR_BYTES = _HDR_STRUCT.size  # 32
+
+#: Upper bound on a sane length field — anything larger is corruption
+#: (2**48 B = 256 TiB in a single frame is beyond any plan this code runs).
+_MAX_LEN = 1 << 48
+
+
+# -- restricted metadata deserialization ---------------------------------------
+
+#: Globals the metadata unpickler may resolve.  Plain containers and
+#: scalars need no global lookups at all; ``complex`` is the one builtin
+#: a codec header could legitimately reference.
+_ALLOWED_GLOBALS: dict[str, frozenset[str]] = {
+    "builtins": frozenset({"complex", "frozenset", "set", "bytearray"}),
+}
+
+
+class _RestrictedUnpickler(pickle.Unpickler):
+    def find_class(self, module: str, name: str):  # noqa: D102
+        if name in _ALLOWED_GLOBALS.get(module, frozenset()):
+            return super().find_class(module, name)
+        raise WireIntegrityError(
+            f"wire metadata references disallowed global {module}.{name}"
+        )
+
+
+def _safe_loads(raw: bytes):
+    try:
+        return _RestrictedUnpickler(io.BytesIO(raw)).load()
+    except WireIntegrityError:
+        raise
+    except Exception as exc:  # pickle raises a zoo of exception types on garbage
+        raise WireIntegrityError(f"wire metadata does not unpickle: {exc}") from exc
+
+
+# -- encode ---------------------------------------------------------------------
+
+
+def _pack_meta(msg: CompressedMessage) -> bytes:
+    return pickle.dumps(
+        (msg.codec_name, msg.dtype_name, msg.shape, msg.header),
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
 
 
 def encode_wire(msg: CompressedMessage) -> np.ndarray:
     """Flatten a compressed message into a contiguous uint8 frame."""
-    meta = pickle.dumps(
-        (msg.codec_name, msg.dtype_name, msg.shape, msg.header),
-        protocol=pickle.HIGHEST_PROTOCOL,
+    meta = _pack_meta(msg)
+    payload = msg.payload
+    header = _HDR_STRUCT.pack(
+        WIRE_MAGIC,
+        WIRE_VERSION,
+        0,
+        0,
+        len(meta),
+        payload.size,
+        zlib.crc32(meta) & 0xFFFFFFFF,
+        zlib.crc32(payload.tobytes()) & 0xFFFFFFFF,
     )
-    lens = np.array([len(meta), msg.payload.size], dtype=np.uint64)
-    frame = np.empty(_HDR_BYTES + len(meta) + msg.payload.size, dtype=np.uint8)
-    frame[:_HDR_BYTES] = lens.view(np.uint8)
+    frame = np.empty(_HDR_BYTES + len(meta) + payload.size, dtype=np.uint8)
+    frame[:_HDR_BYTES] = np.frombuffer(header, dtype=np.uint8)
     frame[_HDR_BYTES : _HDR_BYTES + len(meta)] = np.frombuffer(meta, dtype=np.uint8)
-    frame[_HDR_BYTES + len(meta) :] = msg.payload
+    frame[_HDR_BYTES + len(meta) :] = payload
     return frame
 
 
-def _lens(frame: np.ndarray) -> tuple[int, int]:
+# -- decode ---------------------------------------------------------------------
+
+
+def _parse_header(frame: np.ndarray) -> tuple[int, int, int, int]:
+    """Validate magic/version and return (meta_len, payload_len, crcs)."""
     if frame.size < _HDR_BYTES:
-        raise CompressionError("wire frame too short")
-    lens = np.frombuffer(frame[:_HDR_BYTES].tobytes(), dtype=np.uint64)
-    return int(lens[0]), int(lens[1])
+        raise WireIntegrityError(
+            f"wire frame too short: {frame.size} B < {_HDR_BYTES} B header"
+        )
+    magic, version, _flags, _res, meta_len, payload_len, meta_crc, payload_crc = (
+        _HDR_STRUCT.unpack(frame[:_HDR_BYTES].tobytes())
+    )
+    if magic != WIRE_MAGIC:
+        raise WireIntegrityError(f"bad wire magic {magic!r} (expected {WIRE_MAGIC!r})")
+    if version != WIRE_VERSION:
+        raise WireIntegrityError(
+            f"unsupported wire format version {version} (expected {WIRE_VERSION})"
+        )
+    if meta_len > _MAX_LEN or payload_len > _MAX_LEN:
+        raise WireIntegrityError(
+            f"implausible frame lengths (meta={meta_len}, payload={payload_len})"
+        )
+    return int(meta_len), int(payload_len), int(meta_crc), int(payload_crc)
 
 
-def frame_length(frame: np.ndarray) -> int:
+def _as_u8(frame: np.ndarray | bytes | bytearray | memoryview) -> np.ndarray:
+    # bytes-likes must go through frombuffer: numpy treats a bytes object
+    # handed to ascontiguousarray as a scalar and fails with a bare
+    # ValueError instead of viewing it as a u8 sequence.
+    if isinstance(frame, (bytes, bytearray, memoryview)):
+        return np.frombuffer(frame, dtype=np.uint8)
+    return np.ascontiguousarray(frame, dtype=np.uint8)
+
+
+def frame_length(frame: np.ndarray | bytes) -> int:
     """Total byte length of the frame starting at ``frame[0]``."""
-    meta_len, payload_len = _lens(np.ascontiguousarray(frame, dtype=np.uint8))
+    meta_len, payload_len, _, _ = _parse_header(_as_u8(frame))
     return _HDR_BYTES + meta_len + payload_len
 
 
-def decode_wire(frame: np.ndarray) -> CompressedMessage:
-    """Re-inflate the frame starting at ``frame[0]`` (extra bytes ignored)."""
-    frame = np.ascontiguousarray(frame, dtype=np.uint8)
-    meta_len, payload_len = _lens(frame)
+def decode_wire(frame: np.ndarray | bytes) -> CompressedMessage:
+    """Re-inflate the frame starting at ``frame[0]`` (extra bytes ignored).
+
+    Raises :class:`WireIntegrityError` — a :class:`CompressionError`
+    subclass — on any magic, version, truncation or checksum violation.
+    """
+    frame = _as_u8(frame)
+    meta_len, payload_len, meta_crc, payload_crc = _parse_header(frame)
     if frame.size < _HDR_BYTES + meta_len + payload_len:
-        raise CompressionError("wire frame truncated")
-    codec_name, dtype_name, shape, header = pickle.loads(
-        frame[_HDR_BYTES : _HDR_BYTES + meta_len].tobytes()
-    )
+        raise WireIntegrityError(
+            f"wire frame truncated: need {_HDR_BYTES + meta_len + payload_len} B, "
+            f"have {frame.size} B"
+        )
+    meta_raw = frame[_HDR_BYTES : _HDR_BYTES + meta_len].tobytes()
+    if zlib.crc32(meta_raw) & 0xFFFFFFFF != meta_crc:
+        raise WireIntegrityError("metadata checksum mismatch (corrupted frame)")
     payload = frame[_HDR_BYTES + meta_len : _HDR_BYTES + meta_len + payload_len].copy()
+    if zlib.crc32(payload.tobytes()) & 0xFFFFFFFF != payload_crc:
+        raise WireIntegrityError("payload checksum mismatch (corrupted frame)")
+    decoded = _safe_loads(meta_raw)
+    if not (isinstance(decoded, tuple) and len(decoded) == 4):
+        raise WireIntegrityError("wire metadata has unexpected structure")
+    codec_name, dtype_name, shape, header = decoded
+    if not isinstance(codec_name, str) or not isinstance(dtype_name, str):
+        raise WireIntegrityError("wire metadata has unexpected field types")
+    if not isinstance(header, dict):
+        raise WireIntegrityError("wire metadata header must be a dict")
     return CompressedMessage(codec_name, payload, dtype_name, tuple(shape), header)
 
 
 def wire_overhead(msg: CompressedMessage) -> int:
     """Framing bytes added on top of the payload for this message."""
-    meta = pickle.dumps(
-        (msg.codec_name, msg.dtype_name, msg.shape, msg.header),
-        protocol=pickle.HIGHEST_PROTOCOL,
-    )
-    return _HDR_BYTES + len(meta)
+    return _HDR_BYTES + len(_pack_meta(msg))

@@ -11,6 +11,8 @@ __all__ = [
     "ReproError",
     "PrecisionError",
     "CompressionError",
+    "WireIntegrityError",
+    "TransientCodecError",
     "ToleranceError",
     "RuntimeAbort",
     "CommunicatorError",
@@ -18,6 +20,8 @@ __all__ = [
     "DecompositionError",
     "PlanError",
     "ModelError",
+    "FaultConfigError",
+    "RetryExhaustedError",
 ]
 
 
@@ -31,6 +35,18 @@ class PrecisionError(ReproError):
 
 class CompressionError(ReproError):
     """Codec misuse: bad rate, shape mismatch, corrupt stream."""
+
+
+class WireIntegrityError(CompressionError):
+    """A wire frame failed validation: bad magic, version, or checksum.
+
+    Raised *before* any attempt to deserialize the frame contents, so a
+    corrupted put can never be silently unpickled into garbage.
+    """
+
+
+class TransientCodecError(CompressionError):
+    """A codec failed transiently (e.g. device hiccup); safe to retry."""
 
 
 class ToleranceError(ReproError):
@@ -59,3 +75,11 @@ class PlanError(ReproError):
 
 class ModelError(ReproError):
     """The performance model was queried with inconsistent parameters."""
+
+
+class FaultConfigError(ReproError):
+    """An ill-formed fault plan, rule, or retry policy."""
+
+
+class RetryExhaustedError(ReproError):
+    """A resilient exchange gave up: every retry and fallback failed."""

@@ -1,0 +1,37 @@
+"""Fault injection and resilience primitives (``repro.faults``).
+
+The paper trades accuracy for bandwidth in the reshape exchanges; this
+package supplies the machinery that makes that trade *safe* on an
+imperfect transport:
+
+* :class:`~repro.faults.plan.FaultPlan` / :class:`~repro.faults.plan.FaultRule`
+  — declarative, seeded fault scenarios (bit-flips in RMA puts,
+  dropped/duplicated point-to-point messages, stragglers, transient
+  codec failures);
+* :class:`~repro.faults.injector.FaultInjector` — the deterministic
+  runtime oracle the :class:`~repro.runtime.thread_rt.ThreadWorld`
+  transport consults;
+* :class:`~repro.faults.retry.RetryPolicy` — bounded retries with
+  exponential backoff and deterministic jitter;
+* :class:`~repro.faults.report.ResilienceReport` — the per-exchange
+  audit trail surfaced by the self-healing collectives.
+
+With no plan installed every hook is a ``None`` check: the fault layer
+costs nothing on the happy path.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FAULT_KINDS, FaultPlan, FaultRule
+from repro.faults.report import EVENT_KINDS, ResilienceEvent, ResilienceReport
+from repro.faults.retry import RetryPolicy
+
+__all__ = [
+    "FAULT_KINDS",
+    "EVENT_KINDS",
+    "FaultPlan",
+    "FaultRule",
+    "FaultInjector",
+    "RetryPolicy",
+    "ResilienceEvent",
+    "ResilienceReport",
+]

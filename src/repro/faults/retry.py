@@ -1,0 +1,81 @@
+"""Bounded retry with exponential backoff and deterministic jitter.
+
+The resilient collectives retry a failed block ``max_attempts`` times
+with the original codec before walking down the degradation ladder
+(lossy -> lossless -> raw FP64).  Backoff delays grow geometrically and
+are jittered *deterministically* from ``(seed, attempt)`` so recovery
+schedules — like fault injection itself — replay identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import FaultConfigError
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry schedule for a resilient exchange.
+
+    Parameters
+    ----------
+    max_attempts:
+        Retries with the *original* codec before degrading.  ``0``
+        disables same-codec retries: the first recovery round already
+        uses the lossless fallback.
+    base_delay:
+        Backoff before retry ``0`` in seconds.
+    backoff:
+        Geometric growth factor (``>= 1``).
+    max_delay:
+        Ceiling on any single backoff delay.
+    jitter:
+        Fractional jitter: the delay is scaled by a deterministic
+        factor in ``[1 - jitter, 1 + jitter]``.
+    seed:
+        Seed for the jitter stream.
+    """
+
+    max_attempts: int = 2
+    base_delay: float = 0.0005
+    backoff: float = 2.0
+    max_delay: float = 0.05
+    jitter: float = 0.25
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 0:
+            raise FaultConfigError(f"max_attempts must be >= 0, got {self.max_attempts}")
+        if self.base_delay < 0.0:
+            raise FaultConfigError(f"base_delay must be >= 0, got {self.base_delay}")
+        if self.backoff < 1.0:
+            raise FaultConfigError(f"backoff must be >= 1, got {self.backoff}")
+        if self.max_delay < 0.0:
+            raise FaultConfigError(f"max_delay must be >= 0, got {self.max_delay}")
+        if not 0.0 <= self.jitter < 1.0:
+            raise FaultConfigError(f"jitter must be in [0, 1), got {self.jitter}")
+
+    def delay(self, attempt: int) -> float:
+        """Backoff (seconds) before retry number ``attempt`` (0-based)."""
+        if attempt < 0:
+            raise FaultConfigError(f"attempt must be >= 0, got {attempt}")
+        base = min(self.base_delay * self.backoff**attempt, self.max_delay)
+        if self.jitter and base > 0.0:
+            u = np.random.default_rng([self.seed, attempt]).random()
+            base *= 1.0 + self.jitter * (2.0 * u - 1.0)
+        return float(base)
+
+    def schedule(self, n: int | None = None) -> list[float]:
+        """The first ``n`` backoff delays (default: ``max_attempts``)."""
+        count = self.max_attempts if n is None else n
+        return [self.delay(a) for a in range(count)]
+
+    @classmethod
+    def disabled(cls) -> "RetryPolicy":
+        """No same-codec retries: degrade immediately on first failure."""
+        return cls(max_attempts=0, base_delay=0.0, jitter=0.0)

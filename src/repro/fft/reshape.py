@@ -19,7 +19,7 @@ Two executors share the same plan:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Sequence
 
 import numpy as np
@@ -29,6 +29,7 @@ from repro.collectives.osc import osc_alltoallv
 from repro.collectives.pairwise import pairwise_alltoallv
 from repro.compression.base import Codec
 from repro.errors import PlanError
+from repro.faults import ResilienceReport, RetryPolicy
 from repro.fft.box import Box3d
 from repro.fft.decomposition import CartesianDecomp
 from repro.machine.topology import Topology
@@ -45,10 +46,20 @@ class ReshapeStats:
     messages: int = 0
     logical_bytes: int = 0  # uncompressed payload volume
     wire_bytes: int = 0  # after compression
+    retries: int = 0  # recovery retries across resilient exchanges
+    degradations: int = 0  # codec ladder step-downs
+    #: Per-exchange resilience audit trails (this rank's exchanges only —
+    #: a ReshapeStats instance is per-rank state, unlike the shared plan).
+    reports: list[ResilienceReport] = field(default_factory=list)
 
     @property
     def achieved_rate(self) -> float:
         return self.logical_bytes / self.wire_bytes if self.wire_bytes else 1.0
+
+    @property
+    def clean(self) -> bool:
+        """True when no resilient exchange recorded any event."""
+        return all(r.clean for r in self.reports)
 
 
 class ReshapePlan:
@@ -172,6 +183,8 @@ class ReshapePlan:
         topology: Topology | None = None,
         alltoall: CompressedOscAlltoallv | None = None,
         stats: ReshapeStats | None = None,
+        retry_policy: RetryPolicy | None = None,
+        e_tol: float | None = None,
     ) -> np.ndarray:
         """Execute this rank's part of the reshape on a communicator.
 
@@ -179,7 +192,12 @@ class ReshapePlan:
         linear alltoallv), ``"pairwise"`` (two-sided ring), ``"osc"``
         (Algorithm 3) — or pass a prebuilt ``alltoall``
         (:class:`~repro.collectives.compressed.CompressedOscAlltoallv`)
-        to get compression + cached windows.
+        to get compression + cached windows.  ``retry_policy`` and
+        ``e_tol`` configure the resilient compressed path (checksummed
+        wire, retries, lossy→lossless→raw degradation); the resulting
+        :class:`~repro.faults.ResilienceReport` is appended to
+        ``stats.reports`` (per-rank state — the plan itself is shared
+        across rank threads and stays stateless during execution).
         """
         if comm.size != self.nranks:
             raise PlanError("communicator size does not match plan")
@@ -191,18 +209,23 @@ class ReshapePlan:
         for d, box in self.pairs[rank]:
             send[d] = self.pack(rank, local, d, box)
 
+        report: ResilienceReport | None = None
         if alltoall is not None:
             recv = alltoall(send)
+            report = alltoall.last_report
             if stats is not None:
                 stats.messages += alltoall.last_stats.sent_messages
                 stats.logical_bytes += alltoall.last_stats.original_bytes
                 stats.wire_bytes += alltoall.last_stats.wire_bytes
         elif codec is not None:
-            op = CompressedOscAlltoallv(comm, codec, topology=topology)
+            op = CompressedOscAlltoallv(
+                comm, codec, topology=topology, retry_policy=retry_policy, e_tol=e_tol
+            )
             try:
                 recv = op(send)
             finally:
                 op.free()
+            report = op.last_report
             if stats is not None:
                 stats.messages += op.last_stats.sent_messages
                 stats.logical_bytes += op.last_stats.original_bytes
@@ -215,6 +238,11 @@ class ReshapePlan:
             recv = osc_alltoallv(comm, send, topology=topology)
         else:
             raise PlanError(f"unknown reshape method {method!r}")
+
+        if stats is not None and report is not None:
+            stats.reports.append(report)
+            stats.retries += report.retries
+            stats.degradations += report.degradations
 
         out = self._alloc_out(rank, dtype, batch)
         for s, box in self.incoming[rank]:

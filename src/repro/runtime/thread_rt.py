@@ -17,11 +17,13 @@ Usage::
 from __future__ import annotations
 
 import threading
+import time
 from typing import Any, Callable, Sequence
 
 import numpy as np
 
 from repro.errors import CommunicatorError, RuntimeAbort
+from repro.faults import FaultInjector, FaultPlan
 from repro.runtime.base import ANY_SOURCE, ANY_TAG, Comm, Request
 from repro.runtime.mailbox import Envelope, Mailbox
 from repro.runtime.window import Window
@@ -33,9 +35,21 @@ DEFAULT_TIMEOUT = 120.0
 
 
 class ThreadWorld:
-    """Shared state of one SPMD execution (mailboxes, barrier, windows)."""
+    """Shared state of one SPMD execution (mailboxes, barrier, windows).
 
-    def __init__(self, nranks: int, *, timeout: float = DEFAULT_TIMEOUT) -> None:
+    Pass ``faults`` (a :class:`~repro.faults.FaultPlan` or a prebuilt
+    :class:`~repro.faults.FaultInjector`) to run the world under
+    deterministic fault injection; ``None`` (the default) leaves every
+    transport hook a no-op.
+    """
+
+    def __init__(
+        self,
+        nranks: int,
+        *,
+        timeout: float = DEFAULT_TIMEOUT,
+        faults: FaultPlan | FaultInjector | None = None,
+    ) -> None:
         if nranks < 1:
             raise CommunicatorError(f"nranks must be >= 1, got {nranks}")
         self.nranks = nranks
@@ -43,9 +57,13 @@ class ThreadWorld:
         self.mailboxes = [Mailbox(r) for r in range(nranks)]
         self._barrier = threading.Barrier(nranks)
         self._win_lock = threading.Lock()
-        self._win_registry: dict[int, list[Any]] = {}
+        self._win_registry: dict[Any, list[Any]] = {}
         self._win_counter: dict[int, int] = {}
         self._abort_reason: str | None = None
+        if faults is None or isinstance(faults, FaultInjector):
+            self.injector = faults
+        else:
+            self.injector = FaultInjector(faults)
 
     # -- abort handling ----------------------------------------------------------
 
@@ -87,7 +105,19 @@ class ThreadWorld:
             if locks is None:
                 locks = [threading.Lock() for _ in range(self.nranks)]
                 self._win_registry[locks_key] = locks  # type: ignore[index]
-        return Window(self, comm, buffers, locks)
+        return Window(self, comm, buffers, locks, win_id=win_id)
+
+    def release_window(self, win_id: int) -> None:
+        """Deregister a freed window's buffers and locks (idempotent).
+
+        Called by :meth:`Window.free` on every rank after its closing
+        barrier, so no rank can still be touching the entries.  Without
+        this the registry leaked every buffer and per-window lock for
+        the lifetime of the world.
+        """
+        with self._win_lock:
+            self._win_registry.pop(win_id, None)
+            self._win_registry.pop(("locks", win_id), None)
 
     # -- execution -------------------------------------------------------------------
 
@@ -150,6 +180,18 @@ class ThreadComm(Comm):
         self.world.check_abort()
         self._check_rank(dest)
         payload = np.ascontiguousarray(data).copy()  # buffered semantics
+        injector = self.world.injector
+        if injector is not None:
+            delay = injector.straggle_delay(self.rank)
+            if delay > 0.0:
+                time.sleep(delay)
+            action = injector.p2p_action(self.rank, dest, tag)
+            if action == "drop":
+                return
+            self.world.mailboxes[dest].post(Envelope(self.rank, tag, payload))
+            if action == "duplicate":
+                self.world.mailboxes[dest].post(Envelope(self.rank, tag, payload.copy()))
+            return
         self.world.mailboxes[dest].post(Envelope(self.rank, tag, payload))
 
     def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> np.ndarray:
@@ -195,7 +237,8 @@ def run_spmd(
     fn: Callable[..., Any],
     *args: Any,
     timeout: float = DEFAULT_TIMEOUT,
+    faults: FaultPlan | FaultInjector | None = None,
     **kwargs: Any,
 ) -> list[Any]:
     """One-shot helper: build a :class:`ThreadWorld` and run ``fn`` on it."""
-    return ThreadWorld(nranks, timeout=timeout).run(fn, *args, **kwargs)
+    return ThreadWorld(nranks, timeout=timeout, faults=faults).run(fn, *args, **kwargs)

@@ -25,6 +25,7 @@ overlapping puts undefined; we keep them merely atomic per call).
 from __future__ import annotations
 
 import threading
+import time
 
 import numpy as np
 
@@ -36,11 +37,19 @@ __all__ = ["Window"]
 class Window:
     """Per-rank handle on a collectively-created RMA window."""
 
-    def __init__(self, world: "ThreadWorld", comm, buffers: list[np.ndarray], locks: list[threading.Lock]) -> None:  # noqa: F821
+    def __init__(
+        self,
+        world: "ThreadWorld",  # noqa: F821
+        comm,
+        buffers: list[np.ndarray],
+        locks: list[threading.Lock],
+        win_id: int | None = None,
+    ) -> None:
         self._world = world
         self._comm = comm
         self._buffers = buffers
         self._locks = locks
+        self._win_id = win_id
         self._freed = False
         self._epoch_open = False
         self._held: set[int] = set()
@@ -93,6 +102,14 @@ class Window:
         self._check_alive()
         self._comm._check_rank(target_rank)
         raw = np.ascontiguousarray(data).view(np.uint8).reshape(-1)
+        injector = getattr(self._world, "injector", None)
+        if injector is not None:
+            delay = injector.straggle_delay(self._comm.rank)
+            if delay > 0.0:
+                time.sleep(delay)
+            corrupted = injector.corrupt_put(self._comm.rank, target_rank, raw)
+            if corrupted is not None:
+                raw = corrupted
         target = self._buffers[target_rank]
         if offset < 0 or offset + raw.size > target.size:
             raise WindowError(
@@ -198,10 +215,24 @@ class Window:
     # -- lifecycle -------------------------------------------------------------------
 
     def free(self) -> None:
-        """Collectively release the window."""
+        """Collectively release the window and deregister its buffers.
+
+        After the closing barrier no rank can still be inside a put/get
+        on this window, so the world's registry entries (the exposed
+        buffers *and* the per-target locks) are dropped — previously
+        they leaked for the lifetime of the world.
+        """
         self._check_alive()
+        if self._held:
+            raise WindowError(f"free() with passive-target locks still held: {sorted(self._held)}")
         self._comm.barrier()
         self._freed = True
+        if self._win_id is not None:
+            release = getattr(self._world, "release_window", None)
+            if release is not None:
+                release(self._win_id)
+        self._buffers = []
+        self._locks = []
 
     def _check_alive(self) -> None:
         if self._freed:

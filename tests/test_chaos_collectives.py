@@ -1,0 +1,472 @@
+"""Chaos tests: SPMD exchanges under seeded fault plans.
+
+Every scenario runs a real multi-threaded exchange with a deterministic
+:class:`FaultPlan` and asserts one of exactly two outcomes: a bit-exact
+(or recovered) result, or a *typed* library error — never silent
+corruption.  The injector's audit log is checked so a passing test
+proves the fault actually fired.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.collectives import CompressedOscAlltoallv, OscAlltoallv
+from repro.compression import CastCodec, IdentityCodec, ShuffleZlibCodec
+from repro.errors import CommunicatorError, ReproError, RetryExhaustedError
+from repro.faults import FaultPlan, FaultRule, RetryPolicy
+from repro.fft import ReshapePlan, brick_decomposition, pencil_decomposition
+from repro.fft.reshape import ReshapeStats
+from repro.runtime import ThreadWorld, run_spmd
+
+P = 4  # world size used throughout
+
+#: Payload tag of the reference alltoallv (see Comm.alltoallv).
+ALLTOALLV_TAG = -103
+
+
+def _payloads(rank: int, size: int) -> list[np.ndarray]:
+    """Deterministic uneven payloads, unique per (source, dest)."""
+    rng = np.random.default_rng(100 + rank)
+    return [rng.random(16 + (rank + d) % 5) for d in range(size)]
+
+
+def _reference(p: int) -> list[list[np.ndarray]]:
+    def kernel(comm):
+        return comm.alltoallv(_payloads(comm.rank, comm.size))
+
+    return run_spmd(p, kernel)
+
+
+def _fast_retry(max_attempts: int = 2) -> RetryPolicy:
+    return RetryPolicy(max_attempts=max_attempts, base_delay=1e-4, max_delay=1e-3)
+
+
+# -- bit-flips in one-sided puts ----------------------------------------------------
+
+
+class TestBitflipCompressedOsc:
+    """The acceptance scenario: flip a put, detect by CRC, retry, recover."""
+
+    def test_lossless_exchange_recovers_bit_exact(self):
+        plan = FaultPlan([FaultRule("bitflip", rank=0, peer=1)], seed=3)
+        world = ThreadWorld(P, faults=plan)
+        ref = _reference(P)
+
+        def kernel(comm):
+            op = CompressedOscAlltoallv(comm, IdentityCodec(), retry_policy=_fast_retry())
+            try:
+                recv = op(_payloads(comm.rank, comm.size))
+            finally:
+                op.free()
+            return recv, op.last_report
+
+        results = world.run(kernel)
+        assert world.injector.injected("bitflip") == 1  # the fault really fired
+        for r in range(P):
+            recv, _ = results[r]
+            for s in range(P):
+                assert np.array_equal(recv[s], ref[r][s]), f"rank {r} block {s}"
+        # The whole detect -> retry -> recover sequence is in the reports.
+        victim = results[1][1]
+        assert victim.integrity_failures >= 1
+        assert victim.retries >= 1
+        assert victim.recovered >= 1
+        kinds = [e.kind for e in victim.events]
+        assert kinds.index("integrity-failure") < kinds.index("recovered")
+        sender = results[0][1]
+        assert sender.retransmissions >= 1
+        # Unaffected ranks stayed clean.
+        assert results[3][1].clean
+
+    def test_lossy_codec_recovers_to_reference_values(self):
+        plan = FaultPlan([FaultRule("bitflip", rank=2, peer=0)], seed=9)
+        world = ThreadWorld(P, faults=plan)
+
+        def kernel(comm):
+            op = CompressedOscAlltoallv(comm, CastCodec("fp32"), retry_policy=_fast_retry())
+            try:
+                recv = op(_payloads(comm.rank, comm.size))
+            finally:
+                op.free()
+            return recv, op.last_report
+
+        results = world.run(kernel)
+        assert world.injector.injected("bitflip") == 1
+        for r in range(P):
+            recv, _ = results[r]
+            for s in range(P):
+                expect = _payloads(s, P)[r]
+                assert recv[s] == pytest.approx(expect, rel=1e-6)
+        assert results[0][1].recovered >= 1
+
+    def test_retries_disabled_degrades_to_lossless(self):
+        """With retries off, recovery round 0 already uses the lossless
+        fallback: the recovered block is bit-exact even under a lossy codec."""
+        plan = FaultPlan([FaultRule("bitflip", rank=0, peer=1)], seed=3)
+        world = ThreadWorld(P, faults=plan)
+
+        def kernel(comm):
+            op = CompressedOscAlltoallv(
+                comm, CastCodec("fp32"), retry_policy=RetryPolicy.disabled()
+            )
+            try:
+                recv = op(_payloads(comm.rank, comm.size))
+            finally:
+                op.free()
+            return recv, op.last_report
+
+        results = world.run(kernel)
+        recv1, report1 = results[1]
+        # The retransmitted block took the lossless path: exact, not fp32.
+        assert np.array_equal(recv1[0], _payloads(0, P)[1])
+        degrade = report1.of_kind("degrade")
+        assert degrade and degrade[0].codec == ShuffleZlibCodec(level=1).name
+        recovered = report1.of_kind("recovered")
+        assert recovered and recovered[0].codec == ShuffleZlibCodec(level=1).name
+        assert report1.retries == 0  # retries were disabled
+        # Untouched blocks still carry fp32 error (the lossy path was used).
+        exact = _payloads(2, P)[1]
+        assert not np.array_equal(recv1[2], exact)
+        assert recv1[2] == pytest.approx(exact, rel=1e-6)
+
+    def test_repeated_bitflips_eventually_exhaust(self):
+        """A put corrupted on *every* round of a plan that also corrupts
+        the two-sided fallback ends in a typed error, not garbage."""
+        plan = FaultPlan(
+            [
+                FaultRule("bitflip", rank=0, peer=1, max_triggers=None),
+                FaultRule("drop", rank=0, peer=1, max_triggers=None),
+            ],
+            seed=7,
+        )
+
+        def kernel(comm):
+            op = CompressedOscAlltoallv(
+                comm,
+                IdentityCodec(),
+                retry_policy=RetryPolicy(max_attempts=1, base_delay=1e-4),
+            )
+            try:
+                return op(_payloads(comm.rank, comm.size))
+            finally:
+                op.free()
+
+        with pytest.raises((RetryExhaustedError, CommunicatorError)):
+            run_spmd(P, kernel, faults=plan, timeout=5.0)
+
+
+class TestBitflipRawOsc:
+    def test_verify_mode_detects_and_recovers(self):
+        plan = FaultPlan([FaultRule("bitflip", rank=0, peer=1)], seed=21)
+        world = ThreadWorld(P, faults=plan)
+        ref = _reference(P)
+
+        def kernel(comm):
+            op = OscAlltoallv(comm, verify=True, retry_policy=_fast_retry())
+            try:
+                recv = op(_payloads(comm.rank, comm.size))
+            finally:
+                op.free()
+            return recv, op.last_report
+
+        results = world.run(kernel)
+        assert world.injector.injected("bitflip") == 1
+        for r in range(P):
+            recv, _ = results[r]
+            for s in range(P):
+                assert np.array_equal(recv[s].view(np.float64), ref[r][s])
+        assert results[1][1].integrity_failures >= 1
+        assert results[1][1].recovered >= 1
+
+    def test_without_verify_the_corruption_is_silent(self):
+        """Documents why verify exists: the raw OSC path has no checksums."""
+        plan = FaultPlan([FaultRule("bitflip", rank=0, peer=1)], seed=21)
+        world = ThreadWorld(P, faults=plan)
+
+        def kernel(comm):
+            op = OscAlltoallv(comm)  # verify=False
+            try:
+                return op(_payloads(comm.rank, comm.size))
+            finally:
+                op.free()
+
+        results = world.run(kernel)
+        corrupted = results[1][0].view(np.float64)
+        assert not np.array_equal(corrupted, _payloads(0, P)[1])
+
+
+# -- dropped / duplicated point-to-point messages ------------------------------------
+
+
+class TestDropAndDuplicate:
+    def test_dropped_payload_times_out_with_typed_error(self):
+        plan = FaultPlan([FaultRule("drop", rank=0, peer=1, tag=ALLTOALLV_TAG)], seed=1)
+
+        def kernel(comm):
+            return comm.alltoallv(_payloads(comm.rank, comm.size))
+
+        with pytest.raises(CommunicatorError):
+            run_spmd(P, kernel, faults=plan, timeout=2.0)
+
+    def test_duplicate_delivery_is_harmless(self):
+        plan = FaultPlan(
+            [FaultRule("duplicate", rank=0, peer=1, tag=ALLTOALLV_TAG)], seed=1
+        )
+        world = ThreadWorld(P, faults=plan)
+        ref = _reference(P)
+
+        def kernel(comm):
+            return comm.alltoallv(_payloads(comm.rank, comm.size))
+
+        results = world.run(kernel)
+        assert world.injector.injected("duplicate") == 1
+        for r in range(P):
+            for s in range(P):
+                assert np.array_equal(results[r][s], ref[r][s])
+
+
+# -- stragglers ----------------------------------------------------------------------
+
+
+class TestStraggler:
+    def test_delayed_rank_does_not_change_results(self):
+        plan = FaultPlan([FaultRule("straggle", rank=2, delay=0.15)], seed=0)
+        world = ThreadWorld(P, faults=plan)
+        ref = _reference(P)
+
+        def kernel(comm):
+            op = CompressedOscAlltoallv(comm, IdentityCodec(), retry_policy=_fast_retry())
+            try:
+                return op(_payloads(comm.rank, comm.size))
+            finally:
+                op.free()
+
+        results = world.run(kernel)
+        assert world.injector.injected("straggle") == 1
+        for r in range(P):
+            for s in range(P):
+                assert np.array_equal(results[r][s], ref[r][s])
+
+
+# -- transient codec failures --------------------------------------------------------
+
+
+class TestTransientCodec:
+    def test_codec_hiccup_is_retried(self):
+        plan = FaultPlan([FaultRule("codec", rank=0)], seed=2)
+        world = ThreadWorld(P, faults=plan)
+        ref = _reference(P)
+
+        def kernel(comm):
+            op = CompressedOscAlltoallv(comm, IdentityCodec(), retry_policy=_fast_retry())
+            try:
+                recv = op(_payloads(comm.rank, comm.size))
+            finally:
+                op.free()
+            return recv, op.last_report
+
+        results = world.run(kernel)
+        assert world.injector.injected("codec") == 1
+        for r in range(P):
+            recv, _ = results[r]
+            for s in range(P):
+                assert np.array_equal(recv[s], ref[r][s])
+        report0 = results[0][1]
+        assert report0.count("transient-codec") == 1
+        assert report0.retries >= 1
+
+    def test_codec_hiccup_without_retries_degrades(self):
+        plan = FaultPlan([FaultRule("codec", rank=0)], seed=2)
+        world = ThreadWorld(P, faults=plan)
+
+        def kernel(comm):
+            op = CompressedOscAlltoallv(
+                comm, CastCodec("fp32"), retry_policy=RetryPolicy.disabled()
+            )
+            try:
+                recv = op(_payloads(comm.rank, comm.size))
+            finally:
+                op.free()
+            return recv, op.last_report
+
+        results = world.run(kernel)
+        report0 = results[0][1]
+        assert report0.count("transient-codec") == 1
+        assert report0.degradations == 1
+        # The degraded message went lossless: its receiver got exact bytes.
+        degraded_dest = report0.of_kind("degrade")[0].peer
+        recv_at_dest = results[degraded_dest][0]
+        assert np.array_equal(recv_at_dest[0], _payloads(0, P)[degraded_dest])
+
+
+# -- e_tol-driven degradation --------------------------------------------------------
+
+
+class TestToleranceDegradation:
+    def test_unmeetable_tolerance_forces_lossless(self):
+        ref = _reference(P)
+
+        def kernel(comm):
+            op = CompressedOscAlltoallv(
+                comm, CastCodec("fp16", scaled=True), e_tol=1e-14
+            )
+            try:
+                recv = op(_payloads(comm.rank, comm.size))
+            finally:
+                op.free()
+            return recv, op.last_report
+
+        results = run_spmd(P, kernel)
+        for r in range(P):
+            recv, report = results[r]
+            for s in range(P):
+                assert np.array_equal(recv[s], ref[r][s])  # exact despite fp16 codec
+            assert report.count("tolerance-exceeded") == P
+            assert report.degradations == P
+
+    def test_loose_tolerance_keeps_lossy_path(self):
+        def kernel(comm):
+            op = CompressedOscAlltoallv(comm, CastCodec("fp32"), e_tol=1e-3)
+            try:
+                op(_payloads(comm.rank, comm.size))
+            finally:
+                op.free()
+            return op.last_report
+
+        for report in run_spmd(P, kernel):
+            assert report.clean
+
+
+# -- the full reshape path -----------------------------------------------------------
+
+
+class TestReshapeUnderFaults:
+    def test_reshape_heals_and_surfaces_report(self, rng):
+        shape = (12, 12, 12)
+        src = brick_decomposition(shape, P)
+        dst = pencil_decomposition(shape, P, 1)
+        plan = ReshapePlan(src, dst)
+        x = (rng.random(shape) + 1j * rng.random(shape)).astype(np.complex128)
+        from repro.fft import Box3d
+
+        full = Box3d((0, 0, 0), shape)
+        locals_ = [
+            np.ascontiguousarray(x[src.box_of(r).slices_within(full)]) for r in range(P)
+        ]
+
+        # Pick a real off-rank message from the plan (not every (s, d)
+        # pair overlaps) so the bit-flip has a payload to hit.
+        flip_src, flip_dst = next(
+            (s, d)
+            for s in range(P)
+            for d, box in plan.pairs[s]
+            if d != s and not box.empty
+        )
+        fault_plan = FaultPlan([FaultRule("bitflip", rank=flip_src, peer=flip_dst)], seed=13)
+        world = ThreadWorld(P, faults=fault_plan)
+
+        def kernel(comm):
+            stats = ReshapeStats()
+            out = plan.run_spmd(
+                comm,
+                locals_[comm.rank],
+                codec=IdentityCodec(),
+                retry_policy=_fast_retry(),
+                stats=stats,
+            )
+            return out, stats
+
+        results = world.run(kernel)
+        assert world.injector.injected("bitflip") == 1
+        # The reshape healed: global field is unchanged, just re-laid-out.
+        for r in range(P):
+            out, _ = results[r]
+            expect = x[dst.box_of(r).slices_within(full)]
+            assert np.array_equal(out, expect)
+        victim_stats = results[flip_dst][1]
+        assert victim_stats.reports and not victim_stats.clean
+        assert victim_stats.retries >= 1
+        assert any(rep.recovered for rep in victim_stats.reports)
+
+    def test_clean_run_reports_clean(self, rng):
+        shape = (8, 8, 8)
+        src = brick_decomposition(shape, P)
+        dst = pencil_decomposition(shape, P, 1)
+        plan = ReshapePlan(src, dst)
+        from repro.fft import Box3d
+
+        full = Box3d((0, 0, 0), shape)
+        x = rng.random(shape).astype(np.complex128)
+        locals_ = [
+            np.ascontiguousarray(x[src.box_of(r).slices_within(full)]) for r in range(P)
+        ]
+
+        def kernel(comm):
+            stats = ReshapeStats()
+            plan.run_spmd(comm, locals_[comm.rank], codec=IdentityCodec(), stats=stats)
+            return stats
+
+        for stats in run_spmd(P, kernel):
+            assert stats.clean
+            assert stats.retries == 0 and stats.degradations == 0
+
+
+# -- meta: fault plans never leak into clean worlds ----------------------------------
+
+
+class TestNoFaultPlanIsNoOp:
+    def test_faultless_world_has_no_injector(self):
+        assert ThreadWorld(2).injector is None
+
+    def test_exchange_matches_faultless_world(self):
+        ref = _reference(P)
+        world = ThreadWorld(P, faults=FaultPlan())  # empty plan, injector active
+
+        def kernel(comm):
+            op = CompressedOscAlltoallv(comm, IdentityCodec())
+            try:
+                recv = op(_payloads(comm.rank, comm.size))
+            finally:
+                op.free()
+            return recv, op.last_report
+
+        results = world.run(kernel)
+        for r in range(P):
+            recv, report = results[r]
+            assert report.clean
+            for s in range(P):
+                assert np.array_equal(recv[s], ref[r][s])
+
+    def test_all_chaos_errors_are_typed(self):
+        """Whatever a plan does, failures must be ReproError subclasses."""
+        plan = FaultPlan(
+            [
+                FaultRule("bitflip", probability=0.5, max_triggers=None),
+                FaultRule("drop", tag=ALLTOALLV_TAG, probability=0.2, max_triggers=None),
+                FaultRule("straggle", rank=1, delay=0.01, max_triggers=2),
+            ],
+            seed=1234,
+        )
+
+        def kernel(comm):
+            op = CompressedOscAlltoallv(
+                comm,
+                IdentityCodec(),
+                retry_policy=RetryPolicy(max_attempts=1, base_delay=1e-4),
+            )
+            try:
+                return op(_payloads(comm.rank, comm.size))
+            finally:
+                op.free()
+
+        try:
+            results = run_spmd(P, kernel, faults=plan, timeout=5.0)
+        except ReproError:
+            pass  # typed failure: acceptable chaos outcome
+        else:
+            ref = _reference(P)
+            for r in range(P):
+                for s in range(P):
+                    assert np.array_equal(results[r][s], ref[r][s])
