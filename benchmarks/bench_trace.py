@@ -1,0 +1,74 @@
+"""Benchmark the tracing layer itself + emit the BENCH_*.json artefact.
+
+Two concerns: (1) tracing disabled must be effectively free on the hot
+paths (the observability layer ships always-on in the call sites), and
+(2) one traced heFFTe-style run per benchmark session is archived as a
+machine-readable ``BENCH_trace_smoke.json`` — the seed of the repo's
+performance trajectory (CI uploads its own via ``python -m repro trace``).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.fft.plan import Fft3d, FftStats
+from repro.runtime.thread_rt import ThreadWorld
+from repro.trace import bench_payload, tracing, write_bench_json
+
+_N = 16
+_RANKS = 8
+
+
+def _spmd_fft() -> list[FftStats]:
+    plan = Fft3d((_N, _N, _N), _RANKS, e_tol=1e-6)
+    rng = np.random.default_rng(11)
+    x = rng.standard_normal((_N, _N, _N)) + 1j * rng.standard_normal((_N, _N, _N))
+    locals_ = plan.scatter(x)
+
+    def kernel(comm):
+        stats = FftStats()
+        plan.forward_spmd(comm, locals_[comm.rank], stats=stats)
+        return stats
+
+    return ThreadWorld(_RANKS).run(kernel)
+
+
+def test_fft_tracing_disabled(benchmark):
+    """Baseline: the instrumented hot paths with no tracer installed."""
+    benchmark.pedantic(_spmd_fft, rounds=3, iterations=1)
+
+
+def test_fft_tracing_enabled(benchmark):
+    """Same run under an installed tracer (span + counter recording cost)."""
+
+    def traced():
+        with tracing():
+            _spmd_fft()
+
+    benchmark.pedantic(traced, rounds=3, iterations=1)
+
+
+def test_emit_bench_json(benchmark, tmp_path_factory):
+    """One traced run, exported through the BENCH_*.json emitter."""
+    out_dir = os.environ.get("REPRO_BENCH_DIR") or str(tmp_path_factory.mktemp("bench"))
+
+    def traced_and_emitted() -> str:
+        with tracing() as tracer:
+            per_rank = _spmd_fft()
+        payload = bench_payload(
+            tracer,
+            "trace_smoke",
+            meta={
+                "case": "fft",
+                "nranks": _RANKS,
+                "n": _N,
+                "stats_wire_bytes": sum(s.wire_bytes for s in per_rank),
+            },
+        )
+        assert payload["counters"]["wire_bytes"]["total"] == payload["meta"]["stats_wire_bytes"]
+        return write_bench_json(os.path.join(out_dir, "BENCH_trace_smoke.json"), payload)
+
+    path = benchmark.pedantic(traced_and_emitted, rounds=1, iterations=1)
+    assert os.path.exists(path)

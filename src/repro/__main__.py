@@ -6,6 +6,11 @@ pytest:
     python -m repro table1
     python -m repro fig3
     python -m repro all --full      # paper-scale parameterisations
+
+and drives the observability layer (see DESIGN.md §7):
+
+    python -m repro trace fft --ranks 8 --n 16 --out-dir out/
+    python -m repro trace alltoall --bench-name pr2
 """
 
 from __future__ import annotations
@@ -60,19 +65,48 @@ def _run_one(name: str, full: bool) -> str:
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
-        description="Regenerate the paper's tables and figures.",
+        description="Regenerate the paper's tables and figures, or run a traced case.",
     )
     parser.add_argument(
         "experiment",
-        choices=(*_EXPERIMENTS, "all"),
-        help="which artefact to regenerate",
+        choices=(*_EXPERIMENTS, "all", "trace"),
+        help="which artefact to regenerate ('trace' runs a traced case)",
+    )
+    parser.add_argument(
+        "case",
+        nargs="?",
+        default="fft",
+        help="traced case for 'trace': fft (default) or alltoall",
     )
     parser.add_argument(
         "--full",
         action="store_true",
         help="paper-scale parameterisations (slower)",
     )
+    trace_group = parser.add_argument_group("trace options")
+    trace_group.add_argument("--ranks", type=int, default=8, help="SPMD thread ranks")
+    trace_group.add_argument("--n", type=int, default=16, help="grid edge (n^3 cells)")
+    trace_group.add_argument("--e-tol", type=float, default=1e-6, help="error tolerance")
+    trace_group.add_argument("--out-dir", default=".", help="artefact output directory")
+    trace_group.add_argument(
+        "--bench-name", default=None, help="emit BENCH_<name>.json (default: case name)"
+    )
     args = parser.parse_args(argv)
+
+    if args.experiment == "trace":
+        from repro.trace.cli import run_trace_case
+
+        print(
+            run_trace_case(
+                args.case,
+                nranks=args.ranks,
+                n=args.n,
+                e_tol=args.e_tol,
+                out_dir=args.out_dir,
+                bench_name=args.bench_name,
+            )
+        )
+        return 0
 
     names = _EXPERIMENTS if args.experiment == "all" else (args.experiment,)
     for name in names:

@@ -52,6 +52,9 @@ from repro.faults import ResilienceReport, RetryPolicy
 from repro.machine.topology import Topology
 from repro.runtime.base import Comm
 from repro.runtime.window import Window
+from repro.trace import incr as trace_incr
+from repro.trace import record_report as trace_report
+from repro.trace import span as trace_span
 
 __all__ = ["CompressedOscAlltoallv", "ExchangeStats"]
 
@@ -71,7 +74,10 @@ class ExchangeStats:
 
     @property
     def achieved_rate(self) -> float:
-        return self.original_bytes / self.wire_bytes if self.wire_bytes else 1.0
+        """``original / wire``; 0/0 is 1.0, nonzero/0 is ``inf`` (anomaly)."""
+        if self.wire_bytes:
+            return self.original_bytes / self.wire_bytes
+        return 1.0 if self.original_bytes == 0 else float("inf")
 
 
 class CompressedOscAlltoallv:
@@ -264,10 +270,11 @@ class CompressedOscAlltoallv:
         """
         frames: list[np.ndarray] = []
         for frag in self._split(arr):
-            if codec is None:
-                msg = self._compress_fragment(frag, dest, report)
-            else:
-                msg = codec.compress(frag)
+            with trace_span("compress", rank=self.comm.rank, peer=dest, bytes=int(frag.nbytes)):
+                if codec is None:
+                    msg = self._compress_fragment(frag, dest, report)
+                else:
+                    msg = codec.compress(frag)
             if stats is not None:
                 stats.sent_messages += 1
                 stats.original_bytes += 8 * msg.n_values
@@ -395,7 +402,8 @@ class CompressedOscAlltoallv:
 
         win = self._ensure_window(my_total)
 
-        win.fence()
+        with trace_span("fence", rank=comm.rank, epoch="open"):
+            win.fence()
         for step in range(p):
             dest, _ = ring_peers(comm.rank, step, p, self.topology)
             dest_frames = frames[dest]
@@ -406,10 +414,12 @@ class CompressedOscAlltoallv:
             # compressed (fragments were staged above; a real GPU stream
             # interleaves, the data movement is identical).
             for frag in dest_frames:
-                win.put(frag, dest, offset=offset)
+                with trace_span("put", rank=comm.rank, peer=dest, bytes=int(frag.size)):
+                    win.put(frag, dest, offset=offset)
                 offset += frag.size
 
-        win.fence()
+        with trace_span("fence", rank=comm.rank, epoch="close"):
+            win.fence()
 
         # Step 2: decompress the entire received buffer, CRC-checked per
         # frame; blocks that fail integrity are queued for recovery.
@@ -423,7 +433,8 @@ class CompressedOscAlltoallv:
                 continue
             region = local[int(recv_offsets[s]) : int(recv_offsets[s]) + size]
             try:
-                recv[s] = self._decode_region(region)
+                with trace_span("decompress", rank=comm.rank, peer=s, bytes=size):
+                    recv[s] = self._decode_region(region)
             except CompressionError as exc:
                 report.record("integrity-failure", peer=s, detail=str(exc))
                 failed.append(s)
@@ -435,7 +446,8 @@ class CompressedOscAlltoallv:
         # transport/codec bug: raise it rather than mask it with a
         # retransmission.
         if self._injector() is not None:
-            self._recover(arrays, recv, failed, report, stats)
+            with trace_span("retry", rank=comm.rank, failed=len(failed)):
+                self._recover(arrays, recv, failed, report, stats)
         elif failed:
             raise WireIntegrityError(
                 f"rank {comm.rank}: corrupted block(s) from rank(s) {sorted(failed)} "
@@ -443,4 +455,8 @@ class CompressedOscAlltoallv:
             )
         self.last_stats = stats
         self.last_report = report
+        trace_incr("messages", stats.sent_messages, rank=comm.rank)
+        trace_incr("logical_bytes", stats.original_bytes, rank=comm.rank)
+        trace_incr("wire_bytes", stats.wire_bytes, rank=comm.rank)
+        trace_report(report)
         return recv  # type: ignore[return-value]

@@ -37,6 +37,9 @@ from repro.faults import ResilienceReport, RetryPolicy
 from repro.machine.topology import Topology
 from repro.runtime.base import Comm
 from repro.runtime.window import Window
+from repro.trace import incr as trace_incr
+from repro.trace import record_report as trace_report
+from repro.trace import span as trace_span
 
 __all__ = ["OscAlltoallv", "osc_alltoallv"]
 
@@ -189,15 +192,21 @@ class OscAlltoallv:
 
         from repro.collectives.pairwise import ring_peers
 
-        win.fence()  # open epoch — "synchronization phase to make sure all processes are ready"
+        with trace_span("fence", rank=comm.rank, epoch="open"):
+            win.fence()  # open epoch — "synchronization phase to make sure all processes are ready"
         for step in range(p):
             dest, _ = ring_peers(comm.rank, step, p, self.topology)
             data = chunks[dest]
             if data.size:
                 # where my bytes live in dest's window:
                 offset = int(all_sizes[: comm.rank, dest].sum())
-                win.put(data, dest, offset=offset)
-        win.fence()  # close epoch — all puts complete everywhere
+                with trace_span("put", rank=comm.rank, peer=dest, bytes=int(data.size)):
+                    win.put(data, dest, offset=offset)
+                trace_incr("messages", 1, rank=comm.rank)
+                trace_incr("logical_bytes", int(data.size), rank=comm.rank)
+                trace_incr("wire_bytes", int(data.size), rank=comm.rank)
+        with trace_span("fence", rank=comm.rank, epoch="close"):
+            win.fence()  # close epoch — all puts complete everywhere
 
         local = win.local_view()
         recv: list[np.ndarray] = []
@@ -213,8 +222,10 @@ class OscAlltoallv:
             ]
             for s in failed:
                 report.record("integrity-failure", peer=s, detail="block checksum mismatch")
-            self._recover(chunks, recv, all_crcs, failed, report)
+            with trace_span("retry", rank=comm.rank, failed=len(failed)):
+                self._recover(chunks, recv, all_crcs, failed, report)
         self.last_report = report
+        trace_report(report)
         return recv
 
 

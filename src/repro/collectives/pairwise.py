@@ -19,6 +19,8 @@ import numpy as np
 from repro.errors import CommunicatorError
 from repro.machine.topology import Topology
 from repro.runtime.base import Comm
+from repro.trace import incr as trace_incr
+from repro.trace import span as trace_span
 
 __all__ = ["pairwise_alltoallv", "ring_peers"]
 
@@ -76,6 +78,10 @@ def pairwise_alltoallv(
     # Step 0 is the local (self) exchange.
     mine = send[comm.rank]
     recv[comm.rank] = (empty if mine is None else np.ascontiguousarray(mine)).copy()
+    if mine is not None:
+        trace_incr("messages", 1, rank=comm.rank)
+        trace_incr("logical_bytes", int(recv[comm.rank].nbytes), rank=comm.rank)
+        trace_incr("wire_bytes", int(recv[comm.rank].nbytes), rank=comm.rank)
 
     for step in range(1, p):
         dest, src = ring_peers(comm.rank, step, p, topology)
@@ -83,7 +89,12 @@ def pairwise_alltoallv(
         out = empty if chunk is None else np.ascontiguousarray(chunk)
         # isend-then-recv: eager buffered send cannot deadlock, and the
         # pair (dest, src) differs per rank so messages pair up 1:1.
-        req = comm.isend(out, dest, tag=_TAG - step)
-        recv[src] = comm.recv(src, tag=_TAG - step)
-        req.wait()
+        with trace_span("sendrecv", rank=comm.rank, peer=dest, bytes=int(out.nbytes)):
+            req = comm.isend(out, dest, tag=_TAG - step)
+            recv[src] = comm.recv(src, tag=_TAG - step)
+            req.wait()
+        if chunk is not None:
+            trace_incr("messages", 1, rank=comm.rank)
+            trace_incr("logical_bytes", int(out.nbytes), rank=comm.rank)
+            trace_incr("wire_bytes", int(out.nbytes), rank=comm.rank)
     return recv

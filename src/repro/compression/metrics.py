@@ -12,6 +12,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.compression.base import Codec
+from repro.trace import span as trace_span
 
 __all__ = ["CompressionReport", "evaluate_codec", "rel_l2_error", "max_abs_error"]
 
@@ -45,8 +46,14 @@ class CompressionReport:
 
     @property
     def rate(self) -> float:
-        """Achieved compression rate (original bytes / wire bytes)."""
-        return self.original_nbytes / self.compressed_nbytes
+        """Achieved compression rate (original bytes / wire bytes).
+
+        An empty array compresses to an empty message (0/0): rate 1.0
+        by convention.  Nonzero input with zero wire bytes is ``inf``.
+        """
+        if self.compressed_nbytes:
+            return self.original_nbytes / self.compressed_nbytes
+        return 1.0 if self.original_nbytes == 0 else float("inf")
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -58,8 +65,10 @@ class CompressionReport:
 def evaluate_codec(codec: Codec, data: np.ndarray) -> CompressionReport:
     """Round-trip ``data`` through ``codec`` and report rate + error."""
     data = np.asarray(data)
-    msg = codec.compress(data)
-    back = codec.decompress(msg)
+    with trace_span("compress", codec=codec.name, bytes=int(data.nbytes)):
+        msg = codec.compress(data)
+    with trace_span("decompress", codec=codec.name, bytes=int(msg.nbytes)):
+        back = codec.decompress(msg)
     return CompressionReport(
         codec_name=codec.name,
         n_values=msg.n_values,

@@ -39,6 +39,7 @@ from repro.fft.reshape import ReshapePlan, ReshapeStats
 from repro.machine.topology import Topology
 from repro.runtime.base import Comm
 from repro.runtime.virtual import VirtualWorld
+from repro.trace import span as trace_span
 
 __all__ = ["Fft3d", "FftStats"]
 
@@ -59,7 +60,25 @@ class FftStats:
 
     @property
     def achieved_rate(self) -> float:
-        return self.logical_bytes / self.wire_bytes if self.wire_bytes else 1.0
+        """``logical / wire``; 0/0 is 1.0, nonzero/0 is ``inf`` (anomaly)."""
+        if self.wire_bytes:
+            return self.logical_bytes / self.wire_bytes
+        return 1.0 if self.logical_bytes == 0 else float("inf")
+
+    @property
+    def retries(self) -> int:
+        return sum(r.retries for r in self.reshapes)
+
+    @property
+    def degradations(self) -> int:
+        return sum(r.degradations for r in self.reshapes)
+
+    def totals(self) -> "ReshapeStats":
+        """All reshape stages merged into one :class:`ReshapeStats`."""
+        merged = ReshapeStats()
+        for r in self.reshapes:
+            merged.merge(r)
+        return merged
 
 
 class Fft3d:
@@ -202,7 +221,11 @@ class Fft3d:
             )
             stats.reshapes.append(rstats)
             # negative axis: transparent to leading batch dimensions
-            locals_ = [transform(b, axis - 3, self.precision) for b in locals_]
+            transformed = []
+            for r, b in enumerate(locals_):
+                with trace_span("local_fft", rank=r, axis=axis):
+                    transformed.append(transform(b, axis - 3, self.precision))
+            locals_ = transformed
         rstats = ReshapeStats()
         locals_ = self.reshapes[3].run_virtual(
             world, locals_, codec=self._stage_codec(3), stats=rstats
@@ -234,6 +257,7 @@ class Fft3d:
         *,
         method: str = "osc",
         inverse: bool = False,
+        stats: FftStats | None = None,
     ) -> np.ndarray:
         """Run this rank's part of the transform on a real communicator.
 
@@ -241,11 +265,16 @@ class Fft3d:
         return value is the rank's brick block of the transform.  With a
         codec configured, every reshape goes through the compressed OSC
         all-to-all with a cached window per reshape plan.
+
+        Pass ``stats`` to collect this rank's accounting race-free: the
+        plan object is shared across rank threads, so ``last_stats``
+        only reliably reflects the *last* rank to finish.
         """
         if comm.size != self.nranks:
             raise PlanError("communicator size does not match plan")
         transform = batched_ifft if inverse else batched_fft
-        stats = FftStats()
+        if stats is None:
+            stats = FftStats()
         block = np.ascontiguousarray(local, dtype=self.dtype)
         for step, plan in enumerate(self.reshapes):
             rstats = ReshapeStats()
@@ -269,7 +298,8 @@ class Fft3d:
                     alltoall.free()
             stats.reshapes.append(rstats)
             if step < 3:
-                block = transform(block, step - 3, self.precision)
+                with trace_span("local_fft", rank=comm.rank, axis=step):
+                    block = transform(block, step - 3, self.precision)
         self.last_stats = stats
         return block
 

@@ -30,6 +30,8 @@ from repro.collectives.pairwise import pairwise_alltoallv
 from repro.compression.base import Codec
 from repro.errors import PlanError
 from repro.faults import ResilienceReport, RetryPolicy
+from repro.trace import incr as trace_incr
+from repro.trace import span as trace_span
 from repro.fft.box import Box3d
 from repro.fft.decomposition import CartesianDecomp
 from repro.machine.topology import Topology
@@ -54,12 +56,44 @@ class ReshapeStats:
 
     @property
     def achieved_rate(self) -> float:
-        return self.logical_bytes / self.wire_bytes if self.wire_bytes else 1.0
+        """Compression rate ``logical / wire``.
+
+        0/0 (nothing exchanged) is 1.0 by convention; nonzero logical
+        volume over zero wire bytes is ``inf`` — an accounting anomaly
+        that must not masquerade as "no compression".
+        """
+        if self.wire_bytes:
+            return self.logical_bytes / self.wire_bytes
+        return 1.0 if self.logical_bytes == 0 else float("inf")
 
     @property
     def clean(self) -> bool:
-        """True when no resilient exchange recorded any event."""
-        return all(r.clean for r in self.reports)
+        """True when no resilient exchange recorded any event.
+
+        Requires the counters to agree with the reports: an empty
+        ``reports`` list with nonzero ``retries``/``degradations``
+        (e.g. stats merged from a source that dropped its reports) is
+        *not* clean.
+        """
+        return (
+            self.retries == 0
+            and self.degradations == 0
+            and all(r.clean for r in self.reports)
+        )
+
+    def merge(self, other: "ReshapeStats") -> "ReshapeStats":
+        """Fold another execution's accounting into this one (returns self).
+
+        Lets multi-reshape pipelines aggregate per-stage stats without
+        hand-summing fields.
+        """
+        self.messages += other.messages
+        self.logical_bytes += other.logical_bytes
+        self.wire_bytes += other.wire_bytes
+        self.retries += other.retries
+        self.degradations += other.degradations
+        self.reports.extend(other.reports)
+        return self
 
 
 class ReshapePlan:
@@ -154,21 +188,28 @@ class ReshapePlan:
         out = [self._alloc_out(r, dtype, batch) for r in range(self.nranks)]
         for s in range(self.nranks):
             for d, box in self.pairs[s]:
-                chunk = self.pack(s, locals_[s], d, box)
+                with trace_span("pack", rank=s, peer=d):
+                    chunk = self.pack(s, locals_[s], d, box)
                 if codec is None:
                     world.traffic.record(s, d, chunk.nbytes)
                     received = chunk
                     wire = chunk.nbytes
                 else:
-                    msg = codec.compress(chunk)
+                    with trace_span("compress", rank=s, peer=d, bytes=chunk.nbytes):
+                        msg = codec.compress(chunk)
                     world.traffic.record(s, d, msg.nbytes)
-                    received = codec.decompress(msg)
+                    with trace_span("decompress", rank=d, peer=s, bytes=msg.nbytes):
+                        received = codec.decompress(msg)
                     wire = msg.nbytes
+                trace_incr("messages", 1, rank=s)
+                trace_incr("logical_bytes", chunk.nbytes, rank=s)
+                trace_incr("wire_bytes", wire, rank=s)
                 if stats is not None:
                     stats.messages += 1
                     stats.logical_bytes += chunk.nbytes
                     stats.wire_bytes += wire
-                self.unpack(d, out[d], s, box, received)
+                with trace_span("unpack", rank=d, peer=s):
+                    self.unpack(d, out[d], s, box, received)
         return out
 
     # -- SPMD execution ------------------------------------------------------------------
@@ -207,37 +248,45 @@ class ReshapePlan:
 
         send: list[np.ndarray | None] = [None] * self.nranks
         for d, box in self.pairs[rank]:
-            send[d] = self.pack(rank, local, d, box)
+            with trace_span("pack", rank=rank, peer=d):
+                send[d] = self.pack(rank, local, d, box)
 
         report: ResilienceReport | None = None
-        if alltoall is not None:
-            recv = alltoall(send)
-            report = alltoall.last_report
-            if stats is not None:
-                stats.messages += alltoall.last_stats.sent_messages
-                stats.logical_bytes += alltoall.last_stats.original_bytes
-                stats.wire_bytes += alltoall.last_stats.wire_bytes
-        elif codec is not None:
-            op = CompressedOscAlltoallv(
-                comm, codec, topology=topology, retry_policy=retry_policy, e_tol=e_tol
-            )
-            try:
-                recv = op(send)
-            finally:
-                op.free()
-            report = op.last_report
-            if stats is not None:
-                stats.messages += op.last_stats.sent_messages
-                stats.logical_bytes += op.last_stats.original_bytes
-                stats.wire_bytes += op.last_stats.wire_bytes
-        elif method == "reference":
-            recv = comm.alltoallv(send)
-        elif method == "pairwise":
-            recv = pairwise_alltoallv(comm, send, topology=topology)
-        elif method == "osc":
-            recv = osc_alltoallv(comm, send, topology=topology)
-        else:
-            raise PlanError(f"unknown reshape method {method!r}")
+        with trace_span("exchange", rank=rank, method=method, messages=len(self.pairs[rank])):
+            if alltoall is not None:
+                recv = alltoall(send)
+                report = alltoall.last_report
+                if stats is not None:
+                    stats.messages += alltoall.last_stats.sent_messages
+                    stats.logical_bytes += alltoall.last_stats.original_bytes
+                    stats.wire_bytes += alltoall.last_stats.wire_bytes
+            elif codec is not None:
+                op = CompressedOscAlltoallv(
+                    comm, codec, topology=topology, retry_policy=retry_policy, e_tol=e_tol
+                )
+                try:
+                    recv = op(send)
+                finally:
+                    op.free()
+                report = op.last_report
+                if stats is not None:
+                    stats.messages += op.last_stats.sent_messages
+                    stats.logical_bytes += op.last_stats.original_bytes
+                    stats.wire_bytes += op.last_stats.wire_bytes
+            elif method == "reference":
+                recv = comm.alltoallv(send)
+                # The reference path has no stats-carrying collective, so
+                # the reshape layer does its byte accounting (raw wire).
+                sent = sum(int(c.nbytes) for c in send if c is not None)
+                trace_incr("messages", sum(c is not None for c in send), rank=rank)
+                trace_incr("logical_bytes", sent, rank=rank)
+                trace_incr("wire_bytes", sent, rank=rank)
+            elif method == "pairwise":
+                recv = pairwise_alltoallv(comm, send, topology=topology)
+            elif method == "osc":
+                recv = osc_alltoallv(comm, send, topology=topology)
+            else:
+                raise PlanError(f"unknown reshape method {method!r}")
 
         if stats is not None and report is not None:
             stats.reports.append(report)
@@ -249,5 +298,6 @@ class ReshapePlan:
             chunk = np.asarray(recv[s])
             if chunk.dtype != dtype:
                 chunk = chunk.view(np.uint8).view(dtype) if codec is None and alltoall is None else chunk.astype(dtype)
-            self.unpack(rank, out, s, box, chunk)
+            with trace_span("unpack", rank=rank, peer=s):
+                self.unpack(rank, out, s, box, chunk)
         return out

@@ -27,6 +27,7 @@ from repro.faults import FaultInjector, FaultPlan
 from repro.runtime.base import ANY_SOURCE, ANY_TAG, Comm, Request
 from repro.runtime.mailbox import Envelope, Mailbox
 from repro.runtime.window import Window
+from repro.trace import bind_rank as trace_bind_rank
 
 __all__ = ["ThreadWorld", "ThreadComm", "run_spmd"]
 
@@ -133,6 +134,7 @@ class ThreadWorld:
 
         def body(rank: int) -> None:
             comm = ThreadComm(self, rank)
+            trace_bind_rank(rank)  # spans on this thread attribute to its rank
             try:
                 results[rank] = fn(comm, *args, **kwargs)
             except BaseException as exc:  # noqa: BLE001 - must not hang peers

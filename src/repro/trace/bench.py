@@ -1,0 +1,58 @@
+"""Machine-readable benchmark emitter (``BENCH_*.json``).
+
+Turns one traced run into a schema-stable JSON document — span
+aggregates, typed counters per rank, achieved compression rate — so CI
+can archive a performance trajectory across PRs and later perf work has
+a baseline format to report through.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from typing import Any
+
+from repro.trace.core import Tracer
+from repro.trace.export import span_aggregates
+
+__all__ = ["BENCH_SCHEMA", "bench_payload", "write_bench_json"]
+
+#: Schema identifier; bump when the payload layout changes.
+BENCH_SCHEMA = "repro-bench-v1"
+
+
+def bench_payload(
+    tracer: Tracer, name: str, *, meta: dict[str, Any] | None = None
+) -> dict[str, Any]:
+    """Build the ``BENCH_*.json`` document for one traced run."""
+    counters = tracer.counters()
+    counter_names = sorted({n for _, n in counters})
+    counter_doc: dict[str, Any] = {}
+    for cname in counter_names:
+        ranked = {str(r): v for (r, n), v in counters.items() if n == cname}
+        counter_doc[cname] = {"total": sum(ranked.values()), "per_rank": ranked}
+    logical = tracer.counter_total("logical_bytes")
+    wire = tracer.counter_total("wire_bytes")
+    return {
+        "schema": BENCH_SCHEMA,
+        "name": name,
+        "unix_time": time.time(),
+        "platform": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "meta": dict(meta or {}),
+        "ranks": tracer.ranks(),
+        "spans": span_aggregates(tracer),
+        "counters": counter_doc,
+        "achieved_rate": (logical / wire) if wire else 1.0,
+    }
+
+
+def write_bench_json(path: str, payload: dict[str, Any]) -> str:
+    """Write a bench payload to ``path``; returns the path."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path

@@ -28,6 +28,18 @@ class TestCli:
         out = capsys.readouterr().out
         assert "FP64->FP32" in out
 
+    def test_trace_alltoall(self, capsys, tmp_path):
+        args = ["trace", "alltoall", "--ranks", "4", "--n", "8", "--out-dir", str(tmp_path)]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "wire bytes" in out and "OK" in out
+        assert (tmp_path / "trace_alltoall.json").exists()
+        assert (tmp_path / "BENCH_alltoall.json").exists()
+
+    def test_trace_unknown_case_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["trace", "nope", "--out-dir", str(tmp_path)])
+
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main(["fig9"])

@@ -1,0 +1,143 @@
+"""Edge-case tests for the stats/accounting fixes.
+
+Covers the satellite bugfixes of this PR: zero-byte divisions in
+``CompressionReport.rate`` / ``ReshapeStats.achieved_rate`` /
+``ExchangeStats.achieved_rate``, the ``ReshapeStats.clean``
+counter/report consistency, and ``ReshapeStats.merge``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.collectives.compressed import ExchangeStats
+from repro.compression.base import IdentityCodec
+from repro.compression.metrics import CompressionReport, evaluate_codec
+from repro.faults import ResilienceReport
+from repro.fft.plan import FftStats
+from repro.fft.reshape import ReshapeStats
+
+
+class TestCompressionReportRate:
+    def test_empty_array_round_trip_is_rate_one(self):
+        # Used to raise ZeroDivisionError: empty payload -> 0 wire bytes.
+        report = evaluate_codec(IdentityCodec(), np.zeros(0, dtype=np.float64))
+        assert report.original_nbytes == 0
+        assert report.compressed_nbytes == 0
+        assert report.rate == 1.0
+        assert report.rel_l2 == 0.0 and report.max_abs == 0.0
+
+    def test_zero_wire_bytes_with_payload_is_inf(self):
+        report = CompressionReport(
+            codec_name="bogus",
+            n_values=4,
+            original_nbytes=32,
+            compressed_nbytes=0,
+            rel_l2=0.0,
+            max_abs=0.0,
+        )
+        assert math.isinf(report.rate)
+
+    def test_normal_rate_unchanged(self):
+        report = evaluate_codec(IdentityCodec(), np.ones(16))
+        assert report.rate == pytest.approx(1.0)
+        assert report.compressed_nbytes == 128
+
+
+class TestAchievedRateGuards:
+    def test_reshape_stats_zero_over_zero(self):
+        assert ReshapeStats().achieved_rate == 1.0
+
+    def test_reshape_stats_logical_without_wire_is_inf(self):
+        # Previously reported 1.0, hiding the accounting anomaly.
+        stats = ReshapeStats(logical_bytes=1024, wire_bytes=0)
+        assert math.isinf(stats.achieved_rate)
+
+    def test_reshape_stats_normal_division(self):
+        stats = ReshapeStats(logical_bytes=100, wire_bytes=50)
+        assert stats.achieved_rate == 2.0
+
+    def test_exchange_stats_guards(self):
+        assert ExchangeStats().achieved_rate == 1.0
+        assert math.isinf(ExchangeStats(original_bytes=8).achieved_rate)
+        assert ExchangeStats(original_bytes=80, wire_bytes=40).achieved_rate == 2.0
+
+    def test_fft_stats_guards(self):
+        stats = FftStats()
+        assert stats.achieved_rate == 1.0
+        stats.reshapes.append(ReshapeStats(logical_bytes=64, wire_bytes=0))
+        assert math.isinf(stats.achieved_rate)
+        stats.reshapes.append(ReshapeStats(logical_bytes=0, wire_bytes=32))
+        assert stats.achieved_rate == 2.0
+
+
+class TestReshapeStatsClean:
+    def test_empty_stats_are_clean(self):
+        assert ReshapeStats().clean
+
+    def test_counters_without_reports_are_not_clean(self):
+        # all(r.clean for r in []) is vacuously True; the counters must veto.
+        assert not ReshapeStats(retries=2).clean
+        assert not ReshapeStats(degradations=1).clean
+
+    def test_clean_reports_and_zero_counters_are_clean(self):
+        stats = ReshapeStats(reports=[ResilienceReport(rank=0)])
+        assert stats.clean
+
+    def test_eventful_report_is_not_clean(self):
+        report = ResilienceReport(rank=0)
+        report.record("integrity-failure", peer=1)
+        assert not ReshapeStats(reports=[report]).clean
+
+
+class TestReshapeStatsMerge:
+    def _stats(self, scale: int, *, with_report: bool = False) -> ReshapeStats:
+        reports = []
+        if with_report:
+            r = ResilienceReport(rank=scale)
+            r.record("retry", peer=0)
+            reports.append(r)
+        return ReshapeStats(
+            messages=1 * scale,
+            logical_bytes=100 * scale,
+            wire_bytes=50 * scale,
+            retries=2 * scale,
+            degradations=3 * scale,
+            reports=reports,
+        )
+
+    def test_merge_sums_all_fields_and_extends_reports(self):
+        a = self._stats(1, with_report=True)
+        b = self._stats(2, with_report=True)
+        out = a.merge(b)
+        assert out is a  # chainable
+        assert a.messages == 3
+        assert a.logical_bytes == 300
+        assert a.wire_bytes == 150
+        assert a.retries == 6
+        assert a.degradations == 9
+        assert len(a.reports) == 2
+        assert a.achieved_rate == 2.0
+
+    def test_merge_chain_matches_hand_summing(self):
+        total = ReshapeStats()
+        parts = [self._stats(i) for i in (1, 2, 3)]
+        for p in parts:
+            total.merge(p)
+        assert total.messages == sum(p.messages for p in parts)
+        assert total.wire_bytes == sum(p.wire_bytes for p in parts)
+        assert total.retries == sum(p.retries for p in parts)
+
+    def test_fft_stats_totals_uses_merge(self):
+        stats = FftStats(reshapes=[self._stats(1, with_report=True), self._stats(2)])
+        totals = stats.totals()
+        assert totals.messages == 3
+        assert totals.wire_bytes == 150
+        assert totals.retries == stats.retries == 6
+        assert totals.degradations == stats.degradations == 9
+        assert len(totals.reports) == 1
+        # merging into a fresh accumulator must not mutate the stages
+        assert stats.reshapes[0].messages == 1
