@@ -11,6 +11,11 @@ and drives the observability layer (see DESIGN.md §7):
 
     python -m repro trace fft --ranks 8 --n 16 --out-dir out/
     python -m repro trace alltoall --bench-name pr2
+
+and the conformance gate (see DESIGN.md §8):
+
+    python -m repro conformance --seed 7 --cases 200 --shrink
+    python -m repro conformance --seed 7 --replay 13
 """
 
 from __future__ import annotations
@@ -69,8 +74,9 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=(*_EXPERIMENTS, "all", "trace"),
-        help="which artefact to regenerate ('trace' runs a traced case)",
+        choices=(*_EXPERIMENTS, "all", "trace", "conformance"),
+        help="which artefact to regenerate ('trace' runs a traced case, "
+        "'conformance' runs the property-based gate)",
     )
     parser.add_argument(
         "case",
@@ -91,7 +97,40 @@ def main(argv: list[str] | None = None) -> int:
     trace_group.add_argument(
         "--bench-name", default=None, help="emit BENCH_<name>.json (default: case name)"
     )
+    conf_group = parser.add_argument_group("conformance options")
+    conf_group.add_argument("--seed", type=int, default=0, help="run seed (pins every case)")
+    conf_group.add_argument("--cases", type=int, default=35, help="number of generated cases")
+    conf_group.add_argument(
+        "--properties",
+        default=None,
+        help="comma-separated property subset (default: all families)",
+    )
+    conf_group.add_argument(
+        "--shrink", action="store_true", help="minimise failing scenarios"
+    )
+    conf_group.add_argument(
+        "--replay", type=int, default=None, metavar="INDEX", help="re-run one case by index"
+    )
+    conf_group.add_argument(
+        "--stop-on-failure", action="store_true", help="stop at the first failing case"
+    )
+    conf_group.add_argument(
+        "--out", default=None, metavar="FILE", help="write a failure-replay JSON file on failure"
+    )
     args = parser.parse_args(argv)
+
+    if args.experiment == "conformance":
+        from repro.conformance.cli import run_conformance_cli
+
+        return run_conformance_cli(
+            seed=args.seed,
+            cases=args.cases,
+            properties=args.properties,
+            shrink=args.shrink,
+            replay=args.replay,
+            stop_on_failure=args.stop_on_failure,
+            out=args.out,
+        )
 
     if args.experiment == "trace":
         from repro.trace.cli import run_trace_case

@@ -41,6 +41,7 @@ from repro.collectives.pairwise import ring_peers
 from repro.collectives.wire import decode_wire, encode_wire, frame_length
 from repro.compression.base import Codec, CompressedMessage, IdentityCodec
 from repro.compression.lossless import ShuffleZlibCodec
+from repro.conformance import hooks
 from repro.errors import (
     CommunicatorError,
     CompressionError,
@@ -409,7 +410,12 @@ class CompressedOscAlltoallv:
             dest_frames = frames[dest]
             if not dest_frames:
                 continue
-            offset = int(all_sizes[: comm.rank, dest].sum())
+            offset = hooks.mutate(
+                "compressed.put_offset",
+                int(all_sizes[: comm.rank, dest].sum()),
+                rank=comm.rank,
+                dest=dest,
+            )
             # Pipelined puts: each fragment goes out as soon as it is
             # compressed (fragments were staged above; a real GPU stream
             # interleaves, the data movement is identical).

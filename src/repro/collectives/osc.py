@@ -32,6 +32,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.conformance import hooks
 from repro.errors import CommunicatorError, RetryExhaustedError
 from repro.faults import ResilienceReport, RetryPolicy
 from repro.machine.topology import Topology
@@ -199,7 +200,12 @@ class OscAlltoallv:
             data = chunks[dest]
             if data.size:
                 # where my bytes live in dest's window:
-                offset = int(all_sizes[: comm.rank, dest].sum())
+                offset = hooks.mutate(
+                    "osc.put_offset",
+                    int(all_sizes[: comm.rank, dest].sum()),
+                    rank=comm.rank,
+                    dest=dest,
+                )
                 with trace_span("put", rank=comm.rank, peer=dest, bytes=int(data.size)):
                     win.put(data, dest, offset=offset)
                 trace_incr("messages", 1, rank=comm.rank)

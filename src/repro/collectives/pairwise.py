@@ -16,6 +16,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.conformance import hooks
 from repro.errors import CommunicatorError
 from repro.machine.topology import Topology
 from repro.runtime.base import Comm
@@ -87,6 +88,7 @@ def pairwise_alltoallv(
         dest, src = ring_peers(comm.rank, step, p, topology)
         chunk = send[dest]
         out = empty if chunk is None else np.ascontiguousarray(chunk)
+        out = hooks.mutate("pairwise.chunk", out, rank=comm.rank, dest=dest, step=step)
         # isend-then-recv: eager buffered send cannot deadlock, and the
         # pair (dest, src) differs per rank so messages pair up 1:1.
         with trace_span("sendrecv", rank=comm.rank, peer=dest, bytes=int(out.nbytes)):

@@ -19,6 +19,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.conformance import hooks
 from repro.errors import CommunicatorError
 from repro.runtime.base import Comm
 
@@ -91,7 +92,9 @@ def bruck_alltoall(comm: Comm, send: Sequence[np.ndarray]) -> list[np.ndarray]:
         step = 1 << k
         dst = (comm.rank + step) % p
         src = (comm.rank - step) % p
-        idx = [i for i in range(p) if i & step]
+        idx = hooks.mutate(
+            "bruck.block_index", [i for i in range(p) if i & step], rank=comm.rank, step=step
+        )
         packed = np.stack([work[i] for i in idx]) if idx else np.zeros((0,) + shape0, dtype0)
         req = comm.isend(packed, dst, tag=_TAG_BRUCK - k)
         incoming = comm.recv(src, tag=_TAG_BRUCK - k)

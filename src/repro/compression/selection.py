@@ -81,25 +81,43 @@ def codec_for_tolerance(
 
     m = mantissa_bits_for_tolerance(e_tol, margin=margin)
     if m > 44:  # packing cannot beat 8 bytes/value anyway: stay exact
-        return IdentityCodec()
+        return _record_margin(IdentityCodec(), margin)
 
     if data_hint == "smooth":
-        return ZfpLikeCodec(tolerance=e_tol / margin)
+        return _record_margin(ZfpLikeCodec(tolerance=e_tol / margin), margin)
 
     if prefer_native_casts:
         if m <= FP16.mantissa_bits:
-            return CastCodec(FP16, scaled=True)
+            return _record_margin(CastCodec(FP16, scaled=True), margin)
         if m <= FP32.mantissa_bits:
-            return CastCodec(FP32)
-    return MantissaTrimCodec(m)
+            return _record_margin(CastCodec(FP32), margin)
+    return _record_margin(MantissaTrimCodec(m), margin)
 
 
-def tolerance_of_codec(codec: Codec, *, margin: float = DEFAULT_RESHAPE_MARGIN) -> float:
-    """Inverse map: the error tolerance a codec can honour (inf if lossless).
+def _record_margin(codec: Codec, margin: float) -> Codec:
+    """Stamp the selection margin so the inverse map reports consistently.
+
+    Without this, ``tolerance_of_codec(codec_for_tolerance(e, margin=1))``
+    silently applied the *default* margin and could report up to 4x the
+    requested tolerance (caught by the conformance ``codec`` property).
+    """
+    codec.selection_margin = float(margin)
+    return codec
+
+
+def tolerance_of_codec(codec: Codec, *, margin: float | None = None) -> float:
+    """Inverse map: the error tolerance a codec can honour (0.0 if lossless).
 
     Used to report back the *guaranteed* accuracy of an approximate FFT
     plan built from an explicit codec choice.
+
+    ``margin`` defaults to the margin recorded on the codec when it came
+    out of :func:`codec_for_tolerance` (so selection and reporting always
+    agree), falling back to :data:`DEFAULT_RESHAPE_MARGIN` for codecs
+    constructed directly.  Pass an explicit margin to override both.
     """
+    if margin is None:
+        margin = getattr(codec, "selection_margin", DEFAULT_RESHAPE_MARGIN)
     if codec.lossless:
         return 0.0
     if isinstance(codec, MantissaTrimCodec):

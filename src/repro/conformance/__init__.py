@@ -1,0 +1,75 @@
+"""Property-based differential conformance harness (DESIGN.md §8).
+
+The repository accumulates interchangeable implementations of the same
+contracts — five all-to-all variants, three execution substrates, a
+family of lossy codecs with error bounds — and every one of them must
+keep agreeing with its reference oracle as the hot paths evolve.  This
+package generates randomized scenarios from a seed, runs each one
+against its oracle, and on failure replays and *shrinks* the scenario
+to a minimal counterexample:
+
+* :mod:`repro.conformance.scenario` — seeded scenario generators
+  (stdlib :class:`random.Random`; NumPy data is derived from a
+  generated ``data_seed`` so a seed pins the whole case);
+* :mod:`repro.conformance.oracles` — reference oracles: the direct
+  ``recv[d][s] = send[s][d]`` exchange, NumPy's FFT, codec error
+  bounds;
+* :mod:`repro.conformance.properties` — the property registry: each
+  property bundles a generator, a checker and shrinking moves;
+* :mod:`repro.conformance.runner` — deterministic case enumeration
+  (``seed → identical scenario``), failure collection, replay;
+* :mod:`repro.conformance.shrink` — greedy minimisation of failing
+  scenarios;
+* :mod:`repro.conformance.hooks` — test-only mutation points used by
+  the harness's own self-test (inject an off-by-one into a collective
+  and prove the harness catches it);
+* :mod:`repro.conformance.cli` — ``python -m repro conformance``.
+
+Heavy submodules are imported lazily so that low-level modules (the
+collectives, which call into :mod:`~repro.conformance.hooks`) can
+import this package without creating an import cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = [
+    "PROPERTY_NAMES",
+    "Scenario",
+    "CaseOutcome",
+    "ConformanceReport",
+    "run_case",
+    "run_conformance",
+    "shrink_failure",
+]
+
+#: Property families, in registry order (see properties.PROPERTIES).
+PROPERTY_NAMES = (
+    "alltoallv",
+    "bruck",
+    "codec",
+    "fft",
+    "reshape",
+    "trace",
+    "faults",
+)
+
+_LAZY = {
+    "Scenario": ("repro.conformance.scenario", "Scenario"),
+    "CaseOutcome": ("repro.conformance.runner", "CaseOutcome"),
+    "ConformanceReport": ("repro.conformance.runner", "ConformanceReport"),
+    "run_case": ("repro.conformance.runner", "run_case"),
+    "run_conformance": ("repro.conformance.runner", "run_conformance"),
+    "shrink_failure": ("repro.conformance.shrink", "shrink_failure"),
+}
+
+
+def __getattr__(name: str) -> Any:
+    try:
+        module, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+
+    return getattr(importlib.import_module(module), attr)

@@ -1,0 +1,88 @@
+"""``python -m repro conformance`` — the property-based conformance gate.
+
+Typical invocations::
+
+    python -m repro conformance                       # 35 cases, seed 0
+    python -m repro conformance --seed 7 --cases 200 --shrink
+    python -m repro conformance --properties alltoallv,bruck
+    python -m repro conformance --seed 7 --replay 13  # re-run one case
+    python -m repro conformance --out failures.json   # CI replay artefact
+
+Exit status is 0 when every case passes, 1 otherwise.  On failure the
+summary prints, per failing case, the exact replay command — the run is
+seed-deterministic, so the command reproduces the same scenario
+bit-for-bit (see :mod:`repro.conformance.runner`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.conformance.properties import PROPERTIES
+from repro.conformance.runner import ConformanceReport, run_case, run_conformance
+
+__all__ = ["run_conformance_cli"]
+
+
+def _format_summary(report: ConformanceReport, shrink: bool) -> str:
+    lines = [f"=== conformance: seed {report.seed}, {report.cases} cases ==="]
+    width = max(len(name) for name in PROPERTIES)
+    for name, (run, bad) in sorted(report.per_property().items()):
+        verdict = "ok" if bad == 0 else f"{bad} FAILED"
+        lines.append(f"  {name:<{width}}  {run:>4} cases  {verdict}")
+    if report.ok:
+        lines.append("all cases passed")
+        return "\n".join(lines)
+    lines.append(f"{len(report.failures)} case(s) FAILED:")
+    for o in report.failures:
+        lines.append(f"  case {o.index}: {o.scenario.describe()}")
+        lines.append(f"    {o.failure}")
+        if o.shrunk is not None:
+            lines.append(
+                f"    shrunk ({o.shrink_checks} checks): {o.shrunk.to_json()}"
+            )
+            lines.append(f"    shrunk failure: {o.shrunk_failure}")
+        elif not shrink:
+            lines.append("    (re-run with --shrink to minimise)")
+        lines.append(f"    replay: {o.replay_command}")
+    return "\n".join(lines)
+
+
+def run_conformance_cli(
+    *,
+    seed: int = 0,
+    cases: int = 35,
+    properties: str | None = None,
+    shrink: bool = False,
+    replay: int | None = None,
+    stop_on_failure: bool = False,
+    out: str | None = None,
+    echo: Callable[[str], None] = print,
+) -> int:
+    """Drive a conformance run from parsed CLI options; returns exit status."""
+    names = None
+    if properties:
+        names = [p.strip() for p in properties.split(",") if p.strip()]
+
+    if replay is not None:
+        outcome = run_case(seed, replay, names, shrink=shrink)
+        echo(f"=== conformance replay: seed {seed}, case {replay} ===")
+        echo(f"scenario: {outcome.scenario.to_json()}")
+        if outcome.ok:
+            echo("PASSED")
+            return 0
+        echo(f"FAILED: {outcome.failure}")
+        if outcome.shrunk is not None:
+            echo(f"shrunk ({outcome.shrink_checks} checks): {outcome.shrunk.to_json()}")
+            echo(f"shrunk failure: {outcome.shrunk_failure}")
+        return 1
+
+    report = run_conformance(
+        seed, cases, names, shrink=shrink, stop_on_failure=stop_on_failure
+    )
+    echo(_format_summary(report, shrink))
+    if out is not None and not report.ok:
+        with open(out, "w", encoding="utf-8") as fh:
+            fh.write(report.to_json() + "\n")
+        echo(f"failure-replay file written to {out}")
+    return 0 if report.ok else 1

@@ -1,0 +1,113 @@
+"""Scenario objects: the replayable unit of one conformance case.
+
+A :class:`Scenario` is a property name plus a JSON-safe parameter dict.
+Everything a check needs — rank counts, size matrices, dtype names,
+codec choices, fault plans — lives in ``params`` as plain ints, floats,
+strings and (nested) lists, so a scenario can be printed, stored in a
+failure-replay file, diffed, and fed back to the checker bit-for-bit.
+
+Scenarios are *generated* from a stdlib :class:`random.Random` (see
+:mod:`repro.conformance.properties`); NumPy randomness enters only via
+a ``data_seed`` parameter drawn during generation, so the scenario
+fully pins the data too.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Scenario", "draw_sizes_matrix", "draw_data_seed"]
+
+
+def _jsonify(value: Any) -> Any:
+    """Normalise params to JSON-stable types (tuples → lists, np ints → int)."""
+    if isinstance(value, dict):
+        return {str(k): _jsonify(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(v) for v in value]
+    if isinstance(value, bool) or value is None or isinstance(value, str):
+        return value
+    if isinstance(value, float):
+        return float(value)
+    if isinstance(value, int):
+        return int(value)
+    # numpy scalars and anything else that knows how to be an int/float
+    try:
+        return int(value)
+    except (TypeError, ValueError):
+        return float(value)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One generated conformance case: ``(property, parameters)``."""
+
+    prop: str
+    params: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "params", _jsonify(self.params))
+
+    def with_params(self, **updates: Any) -> "Scenario":
+        """A copy with some parameters replaced (shrinking uses this)."""
+        merged = dict(self.params)
+        merged.update(updates)
+        return Scenario(self.prop, merged)
+
+    # -- replay format -----------------------------------------------------------
+
+    def to_json(self) -> str:
+        """Canonical JSON form (sorted keys — stable across runs)."""
+        return json.dumps({"prop": self.prop, "params": self.params}, sort_keys=True)
+
+    @staticmethod
+    def from_json(text: str) -> "Scenario":
+        raw = json.loads(text)
+        return Scenario(raw["prop"], raw["params"])
+
+    def describe(self) -> str:
+        """One-line human summary for failure output."""
+        bits = []
+        for key in ("nranks", "dtype", "shape", "variants", "codec", "e_tol", "mode", "method"):
+            if key in self.params:
+                bits.append(f"{key}={self.params[key]}")
+        suffix = f" [{', '.join(bits)}]" if bits else ""
+        return f"{self.prop}{suffix}"
+
+
+# -- shared generator helpers ----------------------------------------------------------
+
+
+def draw_data_seed(rng) -> int:
+    """A NumPy seed pinned into the scenario (stdlib rng → np determinism)."""
+    return rng.randrange(2**31)
+
+
+def draw_sizes_matrix(rng, p: int, *, max_items: int = 48) -> list[list[int]]:
+    """A ``p×p`` per-pair element-count matrix with adversarial structure.
+
+    Mixes plain random counts with the shapes that historically break
+    alltoallv implementations: zero-byte blocks, empty rows/columns,
+    prime sizes, a self-send-only pattern.
+    """
+    style = rng.choice(["random", "sparse", "self-only", "all-empty", "ragged-primes"])
+    if style == "all-empty":
+        return [[0] * p for _ in range(p)]
+    if style == "self-only":
+        return [[rng.randrange(1, max_items) if s == d else 0 for d in range(p)] for s in range(p)]
+    primes = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47]
+    sizes: list[list[int]] = []
+    for _ in range(p):
+        row: list[int] = []
+        for _ in range(p):
+            if style == "sparse" and rng.random() < 0.5:
+                row.append(0)
+            elif style == "ragged-primes":
+                row.append(rng.choice(primes))
+            else:
+                # plain random, with a healthy dose of 0 and 1 edges
+                row.append(rng.choice([0, 1, rng.randrange(max_items), rng.randrange(max_items)]))
+        sizes.append(row)
+    return sizes

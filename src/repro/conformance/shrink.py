@@ -1,0 +1,70 @@
+"""Greedy scenario minimisation.
+
+Classic first-improvement shrinking: ask the property for candidate
+scenarios "smaller" than the current one, keep the first candidate that
+still fails, restart from it.  Properties yield their candidates in
+descending aggressiveness (drop a whole rank before halving payloads),
+so the loop converges in a handful of rounds; a global check budget
+bounds the worst case since every check spins up thread worlds.
+
+"Still fails" means *fails at all*, not "fails identically" — shrinking
+an off-by-one into a crash is fine, the minimal scenario is what gets
+debugged.  The original failure message is preserved in the
+:class:`~repro.conformance.runner.CaseOutcome` either way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.conformance.properties import Property, check_scenario
+from repro.conformance.scenario import Scenario
+
+__all__ = ["ShrinkResult", "shrink_failure"]
+
+#: Default cap on re-checks during one shrink (each check runs a world).
+DEFAULT_SHRINK_BUDGET = 300
+
+
+@dataclass(frozen=True)
+class ShrinkResult:
+    """The minimal failing scenario found, and what it cost to find."""
+
+    scenario: Scenario
+    failure: str
+    checks: int
+    rounds: int
+
+
+def shrink_failure(
+    prop: Property,
+    scenario: Scenario,
+    *,
+    budget: int = DEFAULT_SHRINK_BUDGET,
+) -> ShrinkResult:
+    """Minimise a failing ``scenario`` for ``prop`` (greedy, first-improvement)."""
+    failure = check_scenario(prop, scenario)
+    if failure is None:
+        raise ValueError("shrink_failure called with a passing scenario")
+    checks = 1
+    rounds = 0
+    current, current_failure = scenario, failure
+    seen = {current.to_json()}
+    improved = True
+    while improved and checks < budget:
+        improved = False
+        rounds += 1
+        for candidate in prop.shrink(current):
+            key = candidate.to_json()
+            if key in seen:
+                continue
+            seen.add(key)
+            if checks >= budget:
+                break
+            result = check_scenario(prop, candidate)
+            checks += 1
+            if result is not None:
+                current, current_failure = candidate, result
+                improved = True
+                break  # restart the move list from the smaller scenario
+    return ShrinkResult(scenario=current, failure=current_failure, checks=checks, rounds=rounds)

@@ -22,6 +22,7 @@ __all__ = [
     "ModelError",
     "FaultConfigError",
     "RetryExhaustedError",
+    "ConformanceFailure",
 ]
 
 
@@ -83,3 +84,12 @@ class FaultConfigError(ReproError):
 
 class RetryExhaustedError(ReproError):
     """A resilient exchange gave up: every retry and fallback failed."""
+
+
+class ConformanceFailure(ReproError):
+    """A generated conformance property was violated (see repro.conformance).
+
+    Raised by property checkers when an implementation disagrees with
+    its oracle; the harness records it alongside the scenario so the
+    case can be replayed from its seed and shrunk.
+    """

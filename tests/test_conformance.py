@@ -1,0 +1,221 @@
+"""The conformance harness's own tests: determinism, detection power, shrinking.
+
+The load-bearing part is the *self-test*: install a deliberate defect
+(an off-by-one put offset) through the test-only mutation hooks and
+prove the harness (a) catches it within 50 generated cases, (b) shrinks
+the counterexample to a handful of ranks, and (c) replays the failing
+case bit-for-bit from its seed.  A property harness that cannot catch a
+planted bug is decoration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compression.selection import (
+    DEFAULT_RESHAPE_MARGIN,
+    codec_for_tolerance,
+    tolerance_of_codec,
+)
+from repro.conformance import hooks
+from repro.conformance.properties import PROPERTIES, check_scenario
+from repro.conformance.runner import (
+    ConformanceReport,
+    case_rng,
+    generate_case,
+    run_case,
+    run_conformance,
+)
+from repro.conformance.scenario import Scenario
+from repro.conformance.shrink import shrink_failure
+
+
+@pytest.fixture(autouse=True)
+def _no_leftover_mutations():
+    yield
+    hooks.clear_mutations()
+
+
+# -- determinism / replay ---------------------------------------------------------------
+
+
+def test_scenario_generation_is_deterministic() -> None:
+    for index in range(14):
+        a = generate_case(seed=123, index=index)
+        b = generate_case(seed=123, index=index)
+        assert a.to_json() == b.to_json()
+
+
+def test_distinct_seeds_give_distinct_scenarios() -> None:
+    a = [generate_case(seed=1, index=i).to_json() for i in range(7)]
+    b = [generate_case(seed=2, index=i).to_json() for i in range(7)]
+    assert a != b
+
+
+def test_case_rng_is_platform_stable() -> None:
+    # str-seeded random.Random hashes via SHA-512: fixed across builds.
+    assert case_rng(0, 0).randrange(2**31) == case_rng(0, 0).randrange(2**31)
+    assert [case_rng(5, 3).randrange(100) for _ in range(3)] == [
+        case_rng(5, 3).randrange(100) for _ in range(3)
+    ]
+
+
+def test_scenario_json_roundtrip() -> None:
+    sc = Scenario("alltoallv", {"nranks": 3, "sizes": [[1, 2, 0]] * 3, "dtype": "float64"})
+    assert Scenario.from_json(sc.to_json()).to_json() == sc.to_json()
+    assert sc.with_params(nranks=2).params["nranks"] == 2
+    assert sc.params["nranks"] == 3  # original untouched
+
+
+# -- a clean run passes ----------------------------------------------------------------
+
+
+def test_clean_run_all_properties_pass() -> None:
+    report = run_conformance(seed=20260806, cases=14)
+    assert report.ok, "\n".join(f"{o.index}: {o.failure}" for o in report.failures)
+    assert set(report.per_property()) == set(PROPERTIES)
+
+
+# -- the self-test: a planted defect is caught, shrunk, and replayable ------------------
+
+
+def test_planted_offset_bug_is_caught_and_shrunk() -> None:
+    """Off-by-one put offset: caught within 50 cases, shrunk to <= 4 ranks."""
+    with hooks.mutation("osc.put_offset", lambda off, **ctx: max(0, off - 1)):
+        report = run_conformance(seed=0, cases=50, properties=["alltoallv"], shrink=True)
+        assert report.failures, "harness failed to catch a planted off-by-one"
+        first = report.failures[0]
+        assert first.shrunk is not None
+        assert first.shrunk.params["nranks"] <= 4
+        assert len(first.shrunk.params["variants"]) == 1
+        # replaying the printed (seed, index) regenerates the identical scenario
+        replay = run_case(first.seed, first.index, ["alltoallv"])
+        assert replay.scenario.to_json() == first.scenario.to_json()
+        assert replay.failure is not None
+
+
+def test_planted_pairwise_corruption_replays_identically() -> None:
+    """A deterministic two-sided defect reproduces its exact failure message."""
+
+    def corrupt(out, **ctx):
+        if out.size:
+            out = out.copy()
+            out.reshape(-1).view(np.uint8)[0] ^= 0xFF
+        return out
+
+    with hooks.mutation("pairwise.chunk", corrupt):
+        first = run_case(0, 0, ["alltoallv"])
+        assert first.failure is not None
+        replay = run_case(0, 0, ["alltoallv"])
+        assert replay.scenario.to_json() == first.scenario.to_json()
+        assert replay.failure == first.failure
+
+
+def test_planted_bruck_misroute_is_caught() -> None:
+    with hooks.mutation("bruck.block_index", lambda idx, **ctx: idx[:-1] if len(idx) > 1 else idx):
+        report = run_conformance(seed=3, cases=30, properties=["bruck"])
+        assert report.failures
+
+
+def test_shrinker_requires_a_failing_scenario() -> None:
+    prop = PROPERTIES["bruck"]
+    passing = prop.generate(case_rng(0, 1))
+    assert check_scenario(prop, passing) is None
+    with pytest.raises(ValueError):
+        shrink_failure(prop, passing)
+
+
+# -- satellite: selection margin consistency --------------------------------------------
+
+
+@pytest.mark.parametrize("margin", [1.0, 2.0, DEFAULT_RESHAPE_MARGIN, 8.0])
+@pytest.mark.parametrize("hint", ["random", "smooth"])
+def test_selection_margin_round_trip(margin: float, hint: str) -> None:
+    """tolerance_of_codec must honour the margin the codec was selected with."""
+    for e_exp in range(-14, -1):
+        e_tol = 10.0**e_exp
+        codec = codec_for_tolerance(e_tol, data_hint=hint, margin=margin)
+        assert codec.selection_margin == margin
+        # default margin: the recorded one — never exceeds the request
+        assert tolerance_of_codec(codec) <= e_tol * (1 + 1e-12)
+        # explicit margin still overrides
+        assert tolerance_of_codec(codec, margin=margin) <= e_tol * (1 + 1e-12)
+
+
+def test_directly_constructed_codec_keeps_default_margin() -> None:
+    from repro.compression.mantissa import MantissaTrimCodec
+
+    codec = MantissaTrimCodec(20)
+    assert tolerance_of_codec(codec) == pytest.approx(
+        DEFAULT_RESHAPE_MARGIN * codec.max_relative_error
+    )
+
+
+# -- report / CLI ----------------------------------------------------------------------
+
+
+def test_report_json_lists_failures_with_replay_data() -> None:
+    with hooks.mutation("osc.put_offset", lambda off, **ctx: max(0, off - 1)):
+        report = run_conformance(seed=0, cases=8, properties=["alltoallv"], stop_on_failure=True)
+    assert isinstance(report, ConformanceReport)
+    assert not report.ok
+    import json
+
+    raw = json.loads(report.to_json())
+    assert raw["seed"] == 0
+    assert raw["failures"]
+    entry = raw["failures"][0]
+    assert {"index", "seed", "prop", "scenario", "failure"} <= set(entry)
+
+
+def test_cli_smoke(capsys, tmp_path) -> None:
+    from repro.__main__ import main
+
+    assert main(["conformance", "--cases", "7", "--seed", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "all cases passed" in out
+
+    # failure path: exit 1, failure-replay artefact written
+    replay_file = tmp_path / "failures.json"
+    with hooks.mutation("osc.put_offset", lambda off, **ctx: max(0, off - 1)):
+        code = main(
+            [
+                "conformance",
+                "--cases",
+                "8",
+                "--seed",
+                "0",
+                "--properties",
+                "alltoallv",
+                "--stop-on-failure",
+                "--out",
+                str(replay_file),
+            ]
+        )
+    assert code == 1
+    assert replay_file.exists()
+    out = capsys.readouterr().out
+    assert "replay:" in out
+
+
+def test_cli_replay_single_case(capsys) -> None:
+    from repro.__main__ import main
+
+    assert main(["conformance", "--seed", "4", "--replay", "2"]) == 0
+    assert "PASSED" in capsys.readouterr().out
+
+
+def test_unknown_property_is_rejected() -> None:
+    with pytest.raises(ValueError, match="unknown properties"):
+        run_conformance(seed=0, cases=1, properties=["nonesuch"])
+
+
+# -- hooks are inert by default ---------------------------------------------------------
+
+
+def test_hooks_identity_when_uninstalled() -> None:
+    assert hooks.mutate("osc.put_offset", 42, rank=0, dest=1) == 42
+    assert hooks.active_mutations() == ()
+    with pytest.raises(ValueError):
+        hooks.install_mutation("not.a.point", lambda v, **k: v)

@@ -1,0 +1,79 @@
+"""Non-power-of-two rank counts and prime grid dimensions.
+
+Bruck's log-p rounds, 1-D partitions and reshape overlap enumeration
+are all easy to get right for powers of two and wrong otherwise; these
+tests pin the awkward cases: prime rank counts, prime grid edges, and
+their combination through a full distributed transform.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.collectives import bruck_alltoall
+from repro.conformance.oracles import (
+    gather_global,
+    numpy_fft_reference,
+    scatter_global,
+)
+from repro.fft.decomposition import brick_decomposition, pencil_decomposition
+from repro.fft.plan import Fft3d
+from repro.fft.reshape import ReshapePlan
+from repro.runtime.thread_rt import ThreadWorld
+from repro.runtime.virtual import VirtualWorld
+
+
+@pytest.mark.parametrize("p", [3, 5, 6, 7])
+def test_bruck_prime_rank_counts(p: int) -> None:
+    """Bruck must route correctly when p is not a power of two."""
+    blocks = [[np.array([100.0 * s + d]) for d in range(p)] for s in range(p)]
+
+    def kernel(comm):
+        return bruck_alltoall(comm, blocks[comm.rank])
+
+    results = ThreadWorld(p).run(kernel)
+    for d in range(p):
+        for s in range(p):
+            np.testing.assert_array_equal(results[d][s], blocks[s][d])
+
+
+@pytest.mark.parametrize("shape", [(3, 5, 7), (5, 5, 5), (7, 3, 2)])
+@pytest.mark.parametrize("p", [3, 5])
+def test_reshape_prime_dims_is_permutation(shape: tuple[int, int, int], p: int) -> None:
+    """Brick → pencil reshape over prime dims moves every cell exactly once."""
+    from repro.errors import DecompositionError
+
+    try:
+        src = brick_decomposition(shape, p)
+        dst = pencil_decomposition(shape, p, 0)
+    except DecompositionError:
+        pytest.skip(f"{shape} not decomposable over {p} ranks")
+    plan = ReshapePlan(src, dst)
+    x = np.arange(np.prod(shape), dtype=np.float64).reshape(shape)
+    out = plan.run_virtual(VirtualWorld(p), scatter_global(src, x))
+    np.testing.assert_array_equal(gather_global(dst, out), x)
+    assert plan.total_bytes(itemsize=8) == x.nbytes * 1  # every cell once per reshape
+
+
+@pytest.mark.parametrize("shape,p", [((3, 5, 7), 3), ((5, 7, 3), 5), ((7, 7, 7), 7)])
+def test_fft_prime_dims_prime_ranks(shape: tuple[int, int, int], p: int) -> None:
+    """A full distributed FFT over prime edges and a prime rank count."""
+    rng = np.random.default_rng(11)
+    x = (rng.standard_normal(shape) + 1j * rng.standard_normal(shape)).astype(np.complex128)
+    plan = Fft3d(shape, p)
+    y = plan.forward(x)
+    np.testing.assert_allclose(y, numpy_fft_reference(x), rtol=0, atol=1e-10 * np.abs(x).sum())
+    np.testing.assert_allclose(plan.backward(y), x, rtol=0, atol=1e-12 * np.abs(x).sum())
+
+
+def test_partition_prime_length_covers_everything() -> None:
+    """partition1d over a prime length: contiguous, disjoint, exhaustive."""
+    from repro.fft.decomposition import partition1d
+
+    for n, parts in [(7, 3), (13, 5), (11, 11), (17, 4)]:
+        cuts = partition1d(n, parts)
+        assert cuts[0][0] == 0 and cuts[-1][1] == n
+        for (lo, hi), (lo2, _hi2) in zip(cuts, cuts[1:]):
+            assert hi == lo2
+            assert hi > lo
