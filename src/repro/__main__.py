@@ -1,4 +1,4 @@
-"""Command-line experiment runner: ``python -m repro <experiment>``.
+"""Command-line experiment runner: ``python -m repro <command>``.
 
 Regenerates the paper's tables and figures from the terminal without
 pytest:
@@ -7,15 +7,24 @@ pytest:
     python -m repro fig3
     python -m repro all --full      # paper-scale parameterisations
 
-and drives the observability layer (see DESIGN.md §7):
+drives the observability layer (see DESIGN.md §7):
 
-    python -m repro trace fft --ranks 8 --n 16 --out-dir out/
+    python -m repro trace fft --ranks 8 --n 16 --out out/
     python -m repro trace alltoall --bench-name pr2
 
-and the conformance gate (see DESIGN.md §8):
+the conformance gate (see DESIGN.md §8):
 
     python -m repro conformance --seed 7 --cases 200 --shrink
     python -m repro conformance --seed 7 --replay 13
+
+and the perf analysis / regression gate (see DESIGN.md §9):
+
+    python -m repro perf record --name pr4
+    python -m repro perf compare --baseline BENCH_pr4.json
+    python -m repro perf report --case alltoall
+
+Every artefact-producing subcommand shares the same ``--out`` /
+``--seed`` flags (one helper, not three copies).
 """
 
 from __future__ import annotations
@@ -23,22 +32,22 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.experiments import (
-    format_fig2,
-    format_fig3,
-    format_fig4,
-    format_table1_experiment,
-    format_table2,
-    run_fig2,
-    run_fig3,
-    run_fig4,
-    run_table2,
-)
-
 _EXPERIMENTS = ("table1", "fig2", "fig3", "fig4", "table2", "report")
 
 
 def _run_one(name: str, full: bool) -> str:
+    from repro.experiments import (
+        format_fig2,
+        format_fig3,
+        format_fig4,
+        format_table1_experiment,
+        format_table2,
+        run_fig2,
+        run_fig3,
+        run_fig4,
+        run_table2,
+    )
+
     if name == "report":
         from repro.experiments.report import check_landmarks, format_report
 
@@ -67,59 +76,98 @@ def _run_one(name: str, full: bool) -> str:
     raise SystemExit(f"unknown experiment {name!r}")
 
 
-def main(argv: list[str] | None = None) -> int:
+def _add_common_flags(
+    parser: argparse.ArgumentParser,
+    *,
+    out_default: str | None = ".",
+    out_help: str = "artefact output directory",
+) -> None:
+    """The shared ``--out`` / ``--seed`` pair every subcommand gets.
+
+    ``trace``/``perf`` treat ``--out`` as a directory for their
+    artefacts; ``conformance`` as the failure-replay file.  ``--seed``
+    always pins the run's randomness.
+    """
+    parser.add_argument("--out", default=out_default, help=out_help)
+    parser.add_argument("--seed", type=int, default=0, help="run seed (pins all randomness)")
+
+
+def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
-        description="Regenerate the paper's tables and figures, or run a traced case.",
+        description="Regenerate the paper's artefacts, trace a run, or gate perf/conformance.",
     )
-    parser.add_argument(
-        "experiment",
-        choices=(*_EXPERIMENTS, "all", "trace", "conformance"),
-        help="which artefact to regenerate ('trace' runs a traced case, "
-        "'conformance' runs the property-based gate)",
-    )
-    parser.add_argument(
-        "case",
-        nargs="?",
-        default="fft",
-        help="traced case for 'trace': fft (default) or alltoall",
-    )
-    parser.add_argument(
-        "--full",
-        action="store_true",
-        help="paper-scale parameterisations (slower)",
-    )
-    trace_group = parser.add_argument_group("trace options")
-    trace_group.add_argument("--ranks", type=int, default=8, help="SPMD thread ranks")
-    trace_group.add_argument("--n", type=int, default=16, help="grid edge (n^3 cells)")
-    trace_group.add_argument("--e-tol", type=float, default=1e-6, help="error tolerance")
-    trace_group.add_argument("--out-dir", default=".", help="artefact output directory")
-    trace_group.add_argument(
+    sub = parser.add_subparsers(dest="command", required=True, metavar="command")
+
+    for name in (*_EXPERIMENTS, "all"):
+        p = sub.add_parser(name, help=f"regenerate {name}" if name != "all" else "all artefacts")
+        p.add_argument("--full", action="store_true", help="paper-scale parameterisations (slower)")
+
+    trace_p = sub.add_parser("trace", help="run a traced case; emit Chrome trace + BENCH json")
+    trace_p.add_argument("case", nargs="?", default="fft", help="fft (default) or alltoall")
+    trace_p.add_argument("--ranks", type=int, default=8, help="SPMD thread ranks")
+    trace_p.add_argument("--n", type=int, default=16, help="grid edge (n^3 cells)")
+    trace_p.add_argument("--e-tol", type=float, default=1e-6, help="error tolerance")
+    trace_p.add_argument(
         "--bench-name", default=None, help="emit BENCH_<name>.json (default: case name)"
     )
-    conf_group = parser.add_argument_group("conformance options")
-    conf_group.add_argument("--seed", type=int, default=0, help="run seed (pins every case)")
-    conf_group.add_argument("--cases", type=int, default=35, help="number of generated cases")
-    conf_group.add_argument(
+    trace_p.add_argument(
+        "--histograms",
+        action="store_true",
+        help="bounded-memory span histograms instead of retained spans",
+    )
+    _add_common_flags(trace_p)
+    # legacy spelling, same destination
+    trace_p.add_argument("--out-dir", dest="out", help=argparse.SUPPRESS)
+
+    conf_p = sub.add_parser("conformance", help="property-based differential conformance gate")
+    conf_p.add_argument("--cases", type=int, default=35, help="number of generated cases")
+    conf_p.add_argument(
         "--properties",
         default=None,
         help="comma-separated property subset (default: all families)",
     )
-    conf_group.add_argument(
-        "--shrink", action="store_true", help="minimise failing scenarios"
-    )
-    conf_group.add_argument(
+    conf_p.add_argument("--shrink", action="store_true", help="minimise failing scenarios")
+    conf_p.add_argument(
         "--replay", type=int, default=None, metavar="INDEX", help="re-run one case by index"
     )
-    conf_group.add_argument(
+    conf_p.add_argument(
         "--stop-on-failure", action="store_true", help="stop at the first failing case"
     )
-    conf_group.add_argument(
-        "--out", default=None, metavar="FILE", help="write a failure-replay JSON file on failure"
+    _add_common_flags(
+        conf_p, out_default=None, out_help="write a failure-replay JSON file on failure"
     )
-    args = parser.parse_args(argv)
 
-    if args.experiment == "conformance":
+    perf_p = sub.add_parser("perf", help="critical-path/overlap analysis + regression gate")
+    perf_p.add_argument("action", choices=("record", "compare", "report"))
+    perf_p.add_argument("--name", default="perf", help="BENCH_<name>.json artefact name")
+    perf_p.add_argument(
+        "--baseline", default=None, metavar="FILE", help="baseline BENCH json (compare)"
+    )
+    perf_p.add_argument("--repeats", type=int, default=5, help="median-of-k repeats")
+    perf_p.add_argument(
+        "--rel-tol", type=float, default=0.5, help="calibrated slowdown tolerated before gating"
+    )
+    perf_p.add_argument(
+        "--mad-mult", type=float, default=5.0, help="noise guard: slowdown must clear k MADs"
+    )
+    perf_p.add_argument(
+        "--slowdown",
+        type=float,
+        default=1.0,
+        help="artificially slow each repeat by this factor (gate self-test)",
+    )
+    perf_p.add_argument("--case", default="alltoall", help="report workload: alltoall or fft")
+    perf_p.add_argument("--ranks", type=int, default=4, help="report workload ranks")
+    _add_common_flags(perf_p)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "conformance":
         from repro.conformance.cli import run_conformance_cli
 
         return run_conformance_cli(
@@ -132,7 +180,7 @@ def main(argv: list[str] | None = None) -> int:
             out=args.out,
         )
 
-    if args.experiment == "trace":
+    if args.command == "trace":
         from repro.trace.cli import run_trace_case
 
         print(
@@ -141,13 +189,32 @@ def main(argv: list[str] | None = None) -> int:
                 nranks=args.ranks,
                 n=args.n,
                 e_tol=args.e_tol,
-                out_dir=args.out_dir,
+                out_dir=args.out,
                 bench_name=args.bench_name,
+                seed=args.seed,
+                span_histograms=args.histograms,
             )
         )
         return 0
 
-    names = _EXPERIMENTS if args.experiment == "all" else (args.experiment,)
+    if args.command == "perf":
+        from repro.perf.cli import run_perf_cli
+
+        return run_perf_cli(
+            args.action,
+            out=args.out,
+            name=args.name,
+            baseline=args.baseline,
+            repeats=args.repeats,
+            seed=args.seed,
+            rel_tol=args.rel_tol,
+            mad_mult=args.mad_mult,
+            slowdown=args.slowdown,
+            case=args.case,
+            nranks=args.ranks,
+        )
+
+    names = _EXPERIMENTS if args.command == "all" else (args.command,)
     for name in names:
         print(_run_one(name, args.full))
         print()

@@ -270,8 +270,15 @@ class CompressedOscAlltoallv:
         codec instead.
         """
         frames: list[np.ndarray] = []
-        for frag in self._split(arr):
-            with trace_span("compress", rank=self.comm.rank, peer=dest, bytes=int(frag.nbytes)):
+        for chunk_idx, frag in enumerate(self._split(arr)):
+            with trace_span(
+                "compress",
+                rank=self.comm.rank,
+                peer=dest,
+                bytes=int(frag.nbytes),
+                codec=(codec or self.codec).name,
+                chunk=chunk_idx,
+            ):
                 if codec is None:
                     msg = self._compress_fragment(frag, dest, report)
                 else:
@@ -374,6 +381,19 @@ class CompressedOscAlltoallv:
 
     def __call__(self, send: Sequence[np.ndarray | None]) -> list[np.ndarray]:
         """Exchange with compression; returns decompressed per-source arrays."""
+        # The exchange span makes one collective call a critical-path
+        # scope of its own even outside a reshape (repro.perf groups
+        # outermost exchange spans into rounds).
+        with trace_span(
+            "exchange",
+            rank=self.comm.rank,
+            algorithm="compressed-osc",
+            codec=self.codec.name,
+            pipeline_chunks=self.pipeline_chunks,
+        ):
+            return self._exchange(send)
+
+    def _exchange(self, send: Sequence[np.ndarray | None]) -> list[np.ndarray]:
         comm, p = self.comm, self.comm.size
         if len(send) != p:
             raise CommunicatorError(f"send list has {len(send)} entries for {p} ranks")
@@ -419,8 +439,16 @@ class CompressedOscAlltoallv:
             # Pipelined puts: each fragment goes out as soon as it is
             # compressed (fragments were staged above; a real GPU stream
             # interleaves, the data movement is identical).
-            for frag in dest_frames:
-                with trace_span("put", rank=comm.rank, peer=dest, bytes=int(frag.size)):
+            intra = self.topology.same_node(comm.rank, dest) if self.topology else dest == comm.rank
+            for chunk_idx, frag in enumerate(dest_frames):
+                with trace_span(
+                    "put",
+                    rank=comm.rank,
+                    peer=dest,
+                    bytes=int(frag.size),
+                    chunk=chunk_idx,
+                    intra=intra,
+                ):
                     win.put(frag, dest, offset=offset)
                 offset += frag.size
 

@@ -206,7 +206,12 @@ class OscAlltoallv:
                     rank=comm.rank,
                     dest=dest,
                 )
-                with trace_span("put", rank=comm.rank, peer=dest, bytes=int(data.size)):
+                intra = (
+                    self.topology.same_node(comm.rank, dest)
+                    if self.topology
+                    else dest == comm.rank
+                )
+                with trace_span("put", rank=comm.rank, peer=dest, bytes=int(data.size), intra=intra):
                     win.put(data, dest, offset=offset)
                 trace_incr("messages", 1, rank=comm.rank)
                 trace_incr("logical_bytes", int(data.size), rank=comm.rank)

@@ -276,30 +276,38 @@ class Fft3d:
         if stats is None:
             stats = FftStats()
         block = np.ascontiguousarray(local, dtype=self.dtype)
-        for step, plan in enumerate(self.reshapes):
-            rstats = ReshapeStats()
-            alltoall = None
-            stage_codec = self._stage_codec(step)
-            if stage_codec is not None:
-                alltoall = CompressedOscAlltoallv(
-                    comm, stage_codec, topology=self.topology
-                )
-            try:
-                block = plan.run_spmd(
-                    comm,
-                    block,
-                    method=method,
-                    topology=self.topology,
-                    alltoall=alltoall,
-                    stats=rstats,
-                )
-            finally:
-                if alltoall is not None:
-                    alltoall.free()
-            stats.reshapes.append(rstats)
-            if step < 3:
-                with trace_span("local_fft", rank=comm.rank, axis=step):
-                    block = transform(block, step - 3, self.precision)
+        with trace_span(
+            "fft",
+            rank=comm.rank,
+            shape=self.shape,
+            nranks=self.nranks,
+            inverse=inverse,
+            method=method,
+        ):
+            for step, plan in enumerate(self.reshapes):
+                rstats = ReshapeStats()
+                alltoall = None
+                stage_codec = self._stage_codec(step)
+                if stage_codec is not None:
+                    alltoall = CompressedOscAlltoallv(
+                        comm, stage_codec, topology=self.topology
+                    )
+                try:
+                    block = plan.run_spmd(
+                        comm,
+                        block,
+                        method=method,
+                        topology=self.topology,
+                        alltoall=alltoall,
+                        stats=rstats,
+                    )
+                finally:
+                    if alltoall is not None:
+                        alltoall.free()
+                stats.reshapes.append(rstats)
+                if step < 3:
+                    with trace_span("local_fft", rank=comm.rank, axis=step):
+                        block = transform(block, step - 3, self.precision)
         self.last_stats = stats
         return block
 

@@ -34,10 +34,12 @@ from repro.netsim.events import FlowSim, simulate_alltoall
 from repro.netsim.fft_model import FftCost, FftScenario, fft3d_cost
 from repro.netsim.kernels import compression_kernel_time, fft_kernel_time, pack_kernel_time
 from repro.netsim.tools import (
+    LINK_CLASSES,
     bruck_ring_crossover_bytes,
     compression_breakeven_bytes,
     fft_phase_breakdown,
     format_phase_breakdown,
+    model_link_bandwidth_gbs,
 )
 
 __all__ = [
@@ -58,4 +60,6 @@ __all__ = [
     "bruck_ring_crossover_bytes",
     "fft_phase_breakdown",
     "format_phase_breakdown",
+    "LINK_CLASSES",
+    "model_link_bandwidth_gbs",
 ]

@@ -21,12 +21,37 @@ from repro.netsim.fft_model import STANDARD_SCENARIOS, FftScenario, fft3d_cost
 from repro.utils.humanize import format_time
 
 __all__ = [
+    "LINK_CLASSES",
+    "model_link_bandwidth_gbs",
     "compression_breakeven_bytes",
     "bruck_ring_crossover_bytes",
     "PhaseShare",
     "fft_phase_breakdown",
     "format_phase_breakdown",
 ]
+
+#: Link classes the traced-bandwidth report scores separately.
+LINK_CLASSES = ("self", "intra-node", "inter-node", "nic-shared")
+
+
+def model_link_bandwidth_gbs(machine: MachineSpec, link: str) -> float:
+    """The machine model's bandwidth (GB/s) for one link class.
+
+    ``self`` is a device-local copy (bounded by GPU memory bandwidth),
+    ``intra-node`` is the NVLink-class rate, ``inter-node`` the node's
+    injection bandwidth, and ``nic-shared`` the per-rank share of the
+    NIC when all ``gpus_per_node`` ranks stream through it at once —
+    the steady state of the node-aware ring (Section V-A).
+    """
+    if link == "self":
+        return machine.gpu.membw_gbs
+    if link == "intra-node":
+        return machine.network.intranode_gbs
+    if link == "inter-node":
+        return machine.network.internode_gbs
+    if link == "nic-shared":
+        return machine.network.internode_gbs / machine.gpus_per_node
+    raise ModelError(f"unknown link class {link!r}; pick one of {LINK_CLASSES}")
 
 
 def _bisect_crossover(lo: int, hi: int, better_at: "callable", *, steps: int = 60) -> int:

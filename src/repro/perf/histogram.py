@@ -1,0 +1,155 @@
+"""Log-bucketed streaming histograms (HDR-style, bounded memory).
+
+Long traced runs cannot afford to retain every span: a 1536-rank FFT
+records millions of pack/compress/put events.  :class:`LogHistogram`
+keeps only geometric buckets — values are binned by
+``floor(log(v) / log(growth))`` — so percentile queries carry a bounded
+*relative* error (``growth - 1``, ~9 % at the default 2^(1/8) growth)
+while memory stays O(buckets) regardless of the sample count.
+
+The histogram is the storage backend of the tracer's opt-in
+``span_histograms`` mode (see :class:`repro.trace.Tracer`) and of the
+``BENCH_*.json`` percentile fields.  It is deliberately dependency-free
+(no ``repro`` imports) so :mod:`repro.trace.core` can instantiate it
+lazily without an import cycle.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable
+
+__all__ = ["LogHistogram", "DEFAULT_GROWTH"]
+
+#: Default bucket growth factor: 8 buckets per octave, <9 % relative error.
+DEFAULT_GROWTH = 2.0 ** (1.0 / 8.0)
+
+
+class LogHistogram:
+    """Streaming histogram over non-negative values with geometric buckets.
+
+    Parameters
+    ----------
+    growth:
+        Ratio between consecutive bucket boundaries (> 1).  The value
+        reported for any percentile is within a factor ``growth`` of the
+        exact sample, by construction.
+    """
+
+    __slots__ = ("growth", "_log_growth", "_buckets", "_zero", "count", "total", "min", "max")
+
+    def __init__(self, growth: float = DEFAULT_GROWTH) -> None:
+        if growth <= 1.0:
+            raise ValueError(f"growth must be > 1, got {growth}")
+        self.growth = float(growth)
+        self._log_growth = math.log(self.growth)
+        self._buckets: dict[int, int] = {}
+        self._zero = 0  # values exactly 0 get their own bucket
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    # -- recording -------------------------------------------------------------------
+
+    def _index(self, value: float) -> int:
+        return math.floor(math.log(value) / self._log_growth)
+
+    def add(self, value: float, count: int = 1) -> None:
+        """Record ``value`` (``count`` times).  Negative values are invalid."""
+        if value < 0:
+            raise ValueError(f"LogHistogram is for non-negative values, got {value}")
+        if count <= 0:
+            return
+        if value == 0:
+            self._zero += count
+        else:
+            idx = self._index(value)
+            self._buckets[idx] = self._buckets.get(idx, 0) + count
+        self.count += count
+        self.total += value * count
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+
+    def extend(self, values: Iterable[float]) -> None:
+        for v in values:
+            self.add(v)
+
+    def merge(self, other: "LogHistogram") -> "LogHistogram":
+        """Fold another histogram into this one (returns self).
+
+        Bucket indices only line up when the growth factors match.
+        """
+        if abs(other.growth - self.growth) > 1e-12:
+            raise ValueError("cannot merge histograms with different growth factors")
+        for idx, c in other._buckets.items():
+            self._buckets[idx] = self._buckets.get(idx, 0) + c
+        self._zero += other._zero
+        self.count += other.count
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+        return self
+
+    # -- queries ---------------------------------------------------------------------
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Value at percentile ``q`` (0..100), within one bucket's error.
+
+        Returns the geometric midpoint of the bucket holding the q-th
+        sample, clamped to the observed [min, max] so tails never report
+        values outside the data.  Empty histogram ⇒ 0.0.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        if self.count == 0:
+            return 0.0
+        # rank of the target sample, 1-based, matching "nearest-rank"
+        target = max(1, math.ceil(q / 100.0 * self.count))
+        seen = self._zero
+        if target <= seen:
+            return 0.0
+        for idx in sorted(self._buckets):
+            seen += self._buckets[idx]
+            if target <= seen:
+                mid = self.growth ** (idx + 0.5)
+                return float(min(max(mid, self.min), self.max))
+        return float(self.max)  # pragma: no cover - arithmetic guarantee
+
+    def percentiles(self, qs: Iterable[float]) -> list[float]:
+        return [self.percentile(q) for q in qs]
+
+    # -- (de)serialisation -------------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-stable representation (bucket keys stringified)."""
+        return {
+            "growth": self.growth,
+            "count": self.count,
+            "total": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "zero": self._zero,
+            "buckets": {str(k): v for k, v in sorted(self._buckets.items())},
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict[str, Any]) -> "LogHistogram":
+        hist = cls(growth=float(doc["growth"]))
+        hist.count = int(doc["count"])
+        hist.total = float(doc["total"])
+        hist.min = math.inf if doc.get("min") is None else float(doc["min"])
+        hist.max = -math.inf if doc.get("max") is None else float(doc["max"])
+        hist._zero = int(doc.get("zero", 0))
+        hist._buckets = {int(k): int(v) for k, v in doc.get("buckets", {}).items()}
+        return hist
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"LogHistogram(count={self.count}, mean={self.mean:.3g}, "
+            f"p50={self.percentile(50):.3g}, p99={self.percentile(99):.3g})"
+        )

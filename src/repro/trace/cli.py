@@ -30,14 +30,14 @@ __all__ = ["run_trace_case", "TRACE_CASES"]
 TRACE_CASES = ("fft", "alltoall")
 
 
-def _traced_fft(nranks: int, n: int, e_tol: float) -> tuple[int, int]:
+def _traced_fft(nranks: int, n: int, e_tol: float, seed: int) -> tuple[int, int]:
     """Forward 3-D FFT on the thread runtime; returns (wire, logical) bytes
     summed over every rank's :class:`~repro.fft.plan.FftStats`."""
     from repro.fft.plan import Fft3d, FftStats
     from repro.runtime.thread_rt import ThreadWorld
 
     plan = Fft3d((n, n, n), nranks, e_tol=e_tol)
-    rng = np.random.default_rng(2022)
+    rng = np.random.default_rng(2022 + seed)
     x = rng.standard_normal((n, n, n)) + 1j * rng.standard_normal((n, n, n))
     locals_ = plan.scatter(x)
 
@@ -53,7 +53,7 @@ def _traced_fft(nranks: int, n: int, e_tol: float) -> tuple[int, int]:
     )
 
 
-def _traced_alltoall(nranks: int, n: int, e_tol: float) -> tuple[int, int]:
+def _traced_alltoall(nranks: int, n: int, e_tol: float, seed: int) -> tuple[int, int]:
     """One compressed OSC exchange; returns (wire, logical) byte totals."""
     from repro.collectives.compressed import CompressedOscAlltoallv
     from repro.compression.selection import codec_for_tolerance
@@ -63,7 +63,7 @@ def _traced_alltoall(nranks: int, n: int, e_tol: float) -> tuple[int, int]:
     items = max(n, 2) ** 3 // nranks + 1
 
     def kernel(comm):
-        rng = np.random.default_rng(100 + comm.rank)
+        rng = np.random.default_rng(100 + 1000 * seed + comm.rank)
         send = [rng.standard_normal(items) for _ in range(comm.size)]
         op = CompressedOscAlltoallv(comm, codec)
         try:
@@ -87,21 +87,26 @@ def run_trace_case(
     e_tol: float = 1e-6,
     out_dir: str = ".",
     bench_name: str | None = None,
+    seed: int = 0,
+    span_histograms: bool = False,
 ) -> str:
     """Run one traced case and emit trace + bench artefacts.
 
     Returns the report text (also meant for stdout): artefact paths,
     the summary table, and the wire-byte consistency check between the
-    tracer's counters and the collectives' own stats objects.
+    tracer's counters and the collectives' own stats objects.  With
+    ``span_histograms`` the tracer keeps bounded-memory percentile
+    histograms instead of every span (the Chrome trace then carries no
+    span lanes).
     """
     if case not in TRACE_CASES:
         raise SystemExit(f"unknown trace case {case!r}; pick one of {TRACE_CASES}")
     os.makedirs(out_dir, exist_ok=True)
-    tracer = Tracer()
+    tracer = Tracer(span_histograms=span_histograms)
     install(tracer)
     try:
         runner = _traced_fft if case == "fft" else _traced_alltoall
-        stats_wire, stats_logical = runner(nranks, n, e_tol)
+        stats_wire, stats_logical = runner(nranks, n, e_tol, seed)
     finally:
         uninstall()
 
@@ -121,6 +126,8 @@ def run_trace_case(
                 "nranks": nranks,
                 "n": n,
                 "e_tol": e_tol,
+                "seed": seed,
+                "span_histograms": span_histograms,
                 "stats_wire_bytes": stats_wire,
                 "stats_logical_bytes": stats_logical,
                 "counters_match_stats": consistent,

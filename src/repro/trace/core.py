@@ -68,6 +68,7 @@ SPAN_KINDS = (
     "retry",  # recovery rounds (retransmission protocol)
     "sendrecv",  # one two-sided ring step (pairwise algorithm)
     "exchange",  # whole all-to-all of one reshape (parent span)
+    "fft",  # one full Fft3d transform (outermost parent span)
 )
 
 #: Typed counters accumulated per (rank, name).
@@ -125,7 +126,7 @@ _NULL_SPAN = _NullSpan()
 class _ThreadBuffer:
     """Per-thread event storage; merged by the tracer at export time."""
 
-    __slots__ = ("rank", "depth", "spans", "instants", "counters")
+    __slots__ = ("rank", "depth", "spans", "instants", "counters", "histograms", "samples")
 
     def __init__(self) -> None:
         self.rank = -1  # unbound until bind_rank()
@@ -133,6 +134,10 @@ class _ThreadBuffer:
         self.spans: list[SpanEvent] = []
         self.instants: list[InstantEvent] = []
         self.counters: dict[tuple[int, str], float] = {}
+        # span_histograms mode: (rank, kind) -> LogHistogram of duration_ns
+        self.histograms: dict[tuple[int, str], Any] = {}
+        # counter time series: (ts_ns, rank, name, delta) per incr()
+        self.samples: list[tuple[int, int, str, float]] = []
 
 
 class _Span:
@@ -161,7 +166,17 @@ class _Span:
         buf = self._buf
         buf.depth = self._depth
         rank = self._rank if self._rank is not None else buf.rank
-        buf.spans.append(SpanEvent(self._kind, rank, self._t0, t1, self._depth, self._attrs))
+        hist_factory = self._tracer._hist_factory
+        if hist_factory is not None:
+            # Bounded-memory mode: fold the duration into a streaming
+            # histogram instead of retaining the span (attrs are dropped).
+            key = (rank, self._kind)
+            hist = buf.histograms.get(key)
+            if hist is None:
+                hist = buf.histograms[key] = hist_factory()
+            hist.add(t1 - self._t0)
+        else:
+            buf.spans.append(SpanEvent(self._kind, rank, self._t0, t1, self._depth, self._attrs))
         return False
 
 
@@ -175,14 +190,38 @@ class Tracer:
         stay installed; useful for toggling without re-plumbing).
     clock:
         Nanosecond monotonic clock (overridable for deterministic tests).
+    span_histograms:
+        Bounded-memory mode for long runs: span durations are folded
+        into per-(rank, kind) streaming :class:`~repro.perf.histogram.
+        LogHistogram` objects instead of retaining every
+        :class:`SpanEvent` (attrs dropped, counter time series off).
+        ``span_aggregates``/``summarize``/``bench_payload`` transparently
+        read the histograms; Chrome export has no spans to draw.
     """
 
-    def __init__(self, *, enabled: bool = True, clock=time.perf_counter_ns) -> None:
+    def __init__(
+        self,
+        *,
+        enabled: bool = True,
+        clock=time.perf_counter_ns,
+        span_histograms: bool = False,
+    ) -> None:
         self.enabled = bool(enabled)
         self._clock = clock
         self._lock = threading.Lock()
         self._buffers: list[_ThreadBuffer] = []
         self._local = threading.local()
+        self._hist_factory = None
+        if span_histograms:
+            # Lazy import: repro.perf depends on repro.trace at module
+            # load; by construction time both are fully initialised.
+            from repro.perf.histogram import LogHistogram
+
+            self._hist_factory = LogHistogram
+
+    @property
+    def span_histograms_enabled(self) -> bool:
+        return self._hist_factory is not None
 
     # -- hot path -----------------------------------------------------------------
 
@@ -214,13 +253,20 @@ class Tracer:
         buf.instants.append(InstantEvent(kind, r, self._clock(), attrs))
 
     def incr(self, name: str, value: float = 1, *, rank: int | None = None) -> None:
-        """Add ``value`` to counter ``name`` on ``rank``."""
+        """Add ``value`` to counter ``name`` on ``rank``.
+
+        Outside histogram mode every increment is also timestamped, so
+        exporters can render counters as time series (Chrome ``ph: "C"``
+        lanes); histogram mode keeps only the running totals.
+        """
         if not self.enabled:
             return
         buf = self._buf()
         r = rank if rank is not None else buf.rank
         key = (r, name)
         buf.counters[key] = buf.counters.get(key, 0) + value
+        if self._hist_factory is None:
+            buf.samples.append((self._clock(), r, name, value))
 
     def record_report(self, report: Any, *, rank: int | None = None) -> None:
         """Fold a :class:`~repro.faults.ResilienceReport` into the stream.
@@ -279,6 +325,32 @@ class Tracer:
         """Sum of counter ``name`` across all ranks."""
         return sum(v for (_, n), v in self.counters().items() if n == name)
 
+    def counter_samples(self) -> list[tuple[int, int, str, float]]:
+        """Timestamped counter increments ``(ts_ns, rank, name, delta)``.
+
+        Merged across threads, ordered by timestamp.  Empty in
+        histogram mode (only totals are kept there).
+        """
+        samples = [s for buf in self._all_buffers() for s in buf.samples]
+        samples.sort(key=lambda s: s[0])
+        return samples
+
+    def span_histograms(self) -> dict[tuple[int, str], Any]:
+        """Merged ``(rank, kind) -> LogHistogram`` map (histogram mode).
+
+        Empty when ``span_histograms`` was not enabled.
+        """
+        out: dict[tuple[int, str], Any] = {}
+        for buf in self._all_buffers():
+            for key, hist in buf.histograms.items():
+                if key in out:
+                    out[key].merge(hist)
+                else:
+                    merged = type(hist)(growth=hist.growth)
+                    merged.merge(hist)
+                    out[key] = merged
+        return out
+
     def ranks(self) -> list[int]:
         """Sorted ranks that recorded at least one event or counter."""
         seen: set[int] = set()
@@ -286,6 +358,7 @@ class Tracer:
             seen.update(s.rank for s in buf.spans)
             seen.update(i.rank for i in buf.instants)
             seen.update(r for r, _ in buf.counters)
+            seen.update(r for r, _ in buf.histograms)
         return sorted(seen)
 
     def clear(self) -> None:
@@ -294,6 +367,8 @@ class Tracer:
             buf.spans.clear()
             buf.instants.clear()
             buf.counters.clear()
+            buf.histograms.clear()
+            buf.samples.clear()
 
 
 # -- module-level active tracer -------------------------------------------------------

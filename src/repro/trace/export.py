@@ -37,8 +37,11 @@ def chrome_trace(tracer: Tracer) -> dict[str, Any]:
 
     One process (pid 0), one thread lane per rank (tid = rank); spans
     are complete events (``ph="X"``), folded resilience events are
-    thread-scoped instants (``ph="i"``).  Timestamps are microseconds,
-    as the format requires.
+    thread-scoped instants (``ph="i"``), and typed counters (wire /
+    logical bytes, retries, degradations, …) are counter events
+    (``ph="C"``) — one lane per counter name, one series per rank, each
+    sample carrying the running total at that instant.  Timestamps are
+    microseconds, as the format requires.
     """
     events: list[dict[str, Any]] = []
     for rank in tracer.ranks():
@@ -86,6 +89,23 @@ def chrome_trace(tracer: Tracer) -> dict[str, Any]:
                 "args": _args(i.attrs),
             }
         )
+    # Counter lanes: replay the timestamped increments into running
+    # totals so each sample is the cumulative value at that instant.
+    running: dict[tuple[int, str], float] = {}
+    for ts_ns, rank, name, delta in tracer.counter_samples():
+        key = (rank, name)
+        running[key] = running.get(key, 0) + delta
+        events.append(
+            {
+                "name": name,
+                "cat": "repro",
+                "ph": "C",
+                "pid": 0,
+                "tid": rank,
+                "ts": ts_ns / 1000.0,
+                "args": {f"rank {rank}": _jsonable(running[key])},
+            }
+        )
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 
@@ -97,7 +117,32 @@ def write_chrome_trace(tracer: Tracer, path: str) -> str:
 
 
 def span_aggregates(tracer: Tracer) -> dict[str, dict[str, float]]:
-    """Per-span-kind aggregate timings (seconds): count/total/p50/p95/max."""
+    """Per-span-kind aggregate timings (seconds): count/total/p50/p95/max.
+
+    Works in both tracer modes: from retained :class:`SpanEvent` lists,
+    or (under ``span_histograms``) from the streaming histograms, whose
+    percentiles carry the histogram's bounded relative error.  An empty
+    tracer yields an empty dict, never an exception.
+    """
+    if tracer.span_histograms_enabled:
+        merged: dict[str, Any] = {}
+        for (_, kind), hist in tracer.span_histograms().items():
+            if kind in merged:
+                merged[kind].merge(hist)
+            else:
+                acc = type(hist)(growth=hist.growth)
+                acc.merge(hist)
+                merged[kind] = acc
+        return {
+            kind: {
+                "count": float(h.count),
+                "total_s": h.total * 1e-9,
+                "p50_s": h.percentile(50) * 1e-9,
+                "p95_s": h.percentile(95) * 1e-9,
+                "max_s": (h.max if h.count else 0.0) * 1e-9,
+            }
+            for kind, h in sorted(merged.items())
+        }
     by_kind: dict[str, list[int]] = {}
     for s in tracer.span_events():
         by_kind.setdefault(s.kind, []).append(s.duration_ns)
@@ -115,16 +160,21 @@ def span_aggregates(tracer: Tracer) -> dict[str, dict[str, float]]:
 
 
 def summarize(tracer: Tracer) -> str:
-    """Aggregated text summary: span percentiles, rank totals, counters."""
+    """Aggregated text summary: span percentiles, rank totals, counters.
+
+    Safe on an *empty* tracer (nothing recorded): prints an explicit
+    "(no spans recorded)" report instead of raising.
+    """
     lines: list[str] = []
     aggs = span_aggregates(tracer)
-    lines.append("span kind         count   total(ms)    p50(ms)    p95(ms)    max(ms)")
-    for kind, a in aggs.items():
-        lines.append(
-            f"{kind:<16} {a['count']:>6.0f}  {a['total_s'] * 1e3:>10.3f} "
-            f"{a['p50_s'] * 1e3:>10.3f} {a['p95_s'] * 1e3:>10.3f} {a['max_s'] * 1e3:>10.3f}"
-        )
-    if not aggs:
+    if aggs:
+        lines.append("span kind         count   total(ms)    p50(ms)    p95(ms)    max(ms)")
+        for kind, a in aggs.items():
+            lines.append(
+                f"{kind:<16} {a['count']:>6.0f}  {a['total_s'] * 1e3:>10.3f} "
+                f"{a['p50_s'] * 1e3:>10.3f} {a['p95_s'] * 1e3:>10.3f} {a['max_s'] * 1e3:>10.3f}"
+            )
+    else:
         lines.append("(no spans recorded)")
 
     # Per-rank wall time: sum of top-level (depth 0) spans only, so
