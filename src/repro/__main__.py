@@ -17,11 +17,16 @@ the conformance gate (see DESIGN.md §8):
     python -m repro conformance --seed 7 --cases 200 --shrink
     python -m repro conformance --seed 7 --replay 13
 
-and the perf analysis / regression gate (see DESIGN.md §9):
+the perf analysis / regression gate (see DESIGN.md §9):
 
     python -m repro perf record --name pr4
     python -m repro perf compare --baseline BENCH_pr4.json
     python -m repro perf report --case alltoall
+
+and the rank-failure recovery drills (see DESIGN.md §10):
+
+    python -m repro resilience                   # kill + hang drills
+    python -m repro resilience --kind hang --ranks 4 --n 16 --out out/
 
 Every artefact-producing subcommand shares the same ``--out`` /
 ``--seed`` flags (one helper, not three copies).
@@ -161,6 +166,33 @@ def _build_parser() -> argparse.ArgumentParser:
     perf_p.add_argument("--ranks", type=int, default=4, help="report workload ranks")
     _add_common_flags(perf_p)
 
+    res_p = sub.add_parser(
+        "resilience", help="rank-failure drill: kill/hang a rank mid-FFT and recover"
+    )
+    res_p.add_argument(
+        "--kind",
+        choices=("kill", "hang", "both"),
+        default="both",
+        help="process fault to inject (default: both drills)",
+    )
+    res_p.add_argument("--ranks", type=int, default=4, help="SPMD thread ranks")
+    res_p.add_argument("--n", type=int, default=16, help="grid edge (n^3 cells)")
+    res_p.add_argument("--e-tol", type=float, default=1e-6, help="error tolerance")
+    res_p.add_argument("--victim", type=int, default=1, help="rank to kill/hang")
+    res_p.add_argument(
+        "--after", type=int, default=12, help="victim transport ops before the fault fires"
+    )
+    res_p.add_argument(
+        "--timeout", type=float, default=15.0, help="world deadline (seconds)"
+    )
+    res_p.add_argument(
+        "--suspect-after",
+        type=float,
+        default=0.5,
+        help="beacon silence (seconds) before a rank is suspected dead",
+    )
+    _add_common_flags(res_p)
+
     return parser
 
 
@@ -212,6 +244,22 @@ def main(argv: list[str] | None = None) -> int:
             slowdown=args.slowdown,
             case=args.case,
             nranks=args.ranks,
+        )
+
+    if args.command == "resilience":
+        from repro.resilience.cli import run_resilience_cli
+
+        return run_resilience_cli(
+            kind=args.kind,
+            nranks=args.ranks,
+            n=args.n,
+            e_tol=args.e_tol,
+            victim=args.victim,
+            after=args.after,
+            seed=args.seed,
+            timeout=args.timeout,
+            suspect_after=args.suspect_after,
+            out=args.out,
         )
 
     names = _EXPERIMENTS if args.command == "all" else (args.command,)

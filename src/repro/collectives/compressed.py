@@ -210,6 +210,8 @@ class CompressedOscAlltoallv:
         policy = self.retry_policy
         ladder = self._ladder()
         step, retries_in_step = 0, 0
+        started = time.monotonic()
+        budget_noted = False
         while True:
             codec = ladder[step]
             try:
@@ -218,8 +220,19 @@ class CompressedOscAlltoallv:
                 msg = codec.compress(frag)
             except TransientCodecError as exc:
                 report.record("transient-codec", peer=dest, codec=codec.name, detail=str(exc))
-                if retries_in_step < policy.max_attempts:
-                    delay = policy.delay(retries_in_step)
+                elapsed = time.monotonic() - started
+                if policy.budget_exhausted(elapsed) and not budget_noted:
+                    # Stop burning same-codec retries; every further failure
+                    # walks the ladder immediately.
+                    budget_noted = True
+                    report.record(
+                        "budget-exhausted",
+                        peer=dest,
+                        codec=codec.name,
+                        detail=f"max_elapsed={policy.max_elapsed}s spent",
+                    )
+                if retries_in_step < policy.max_attempts and not budget_noted:
+                    delay = policy.delay(retries_in_step, elapsed=elapsed)
                     report.record("retry", peer=dest, attempt=retries_in_step, codec=codec.name)
                     if delay > 0.0:
                         time.sleep(delay)
@@ -323,10 +336,28 @@ class CompressedOscAlltoallv:
         """
         comm, policy = self.comm, self.retry_policy
         ladder = self._ladder()
-        needs: list[list[int]] = comm.allgather(sorted(failed))
+        started = time.monotonic()
+        # Exhaustion of the total-deadline budget is agreed alongside the
+        # failure sets: round tags and codec choice derive from `attempt`,
+        # so every rank must fast-forward at the same round boundary.
+        gathered = comm.allgather((sorted(failed), policy.budget_exhausted(0.0)))
+        needs: list[list[int]] = [g[0] for g in gathered]
+        any_exhausted = any(g[1] for g in gathered)
         attempt = 0
         prev_codec = ladder[0].name
         while any(needs):
+            involved_now = bool(failed) or any(comm.rank in srcs for srcs in needs)
+            if any_exhausted and attempt < policy.max_attempts:
+                # Budget spent: skip the remaining same-codec rounds and
+                # go straight to the degradation ladder.
+                if involved_now:
+                    report.record(
+                        "budget-exhausted",
+                        attempt=attempt,
+                        detail=f"max_elapsed={policy.max_elapsed}s spent; "
+                        f"fast-forwarding to the degradation ladder",
+                    )
+                attempt = policy.max_attempts
             extra = attempt - policy.max_attempts
             if extra < 0:
                 codec = ladder[0]
@@ -337,13 +368,13 @@ class CompressedOscAlltoallv:
                     f"rank {comm.rank}: blocks from rank(s) {sorted(failed)} still "
                     f"corrupt after {attempt} recovery round(s) ending at raw FP64"
                 )
-            involved = bool(failed) or any(comm.rank in sources for sources in needs)
+            involved = involved_now
             if codec.name != prev_codec and involved:
                 report.record("degrade", attempt=attempt, codec=codec.name,
                               detail=f"recovery ladder {prev_codec} -> {codec.name}")
             prev_codec = codec.name
             if extra < 0:
-                delay = policy.delay(attempt)
+                delay = policy.delay(attempt, elapsed=time.monotonic() - started)
                 if delay > 0.0:
                     time.sleep(delay)
             tag = _RETRY_TAG - attempt
@@ -374,7 +405,10 @@ class CompressedOscAlltoallv:
                 else:
                     report.record("recovered", peer=source, attempt=attempt, codec=codec.name)
             failed = still_failed
-            needs = comm.allgather(sorted(failed))
+            elapsed = time.monotonic() - started
+            gathered = comm.allgather((sorted(failed), policy.budget_exhausted(elapsed)))
+            needs = [g[0] for g in gathered]
+            any_exhausted = any_exhausted or any(g[1] for g in gathered)
             attempt += 1
 
     # -- the exchange ----------------------------------------------------------------

@@ -131,13 +131,21 @@ class OscAlltoallv:
         comm, policy = self.comm, self.retry_policy
         needs: list[list[int]] = comm.allgather(sorted(failed))
         attempt = 0
+        started = time.monotonic()
         while any(needs):
+            elapsed = time.monotonic() - started
             if attempt > policy.max_attempts:
                 raise RetryExhaustedError(
                     f"rank {comm.rank}: raw blocks from rank(s) {sorted(failed)} "
                     f"still corrupt after {attempt} retransmission(s)"
                 )
-            delay = policy.delay(attempt) if attempt > 0 else 0.0
+            if policy.budget_exhausted(elapsed):
+                raise RetryExhaustedError(
+                    f"rank {comm.rank}: retry budget of {policy.max_elapsed}s "
+                    f"spent after {attempt} retransmission(s); blocks from "
+                    f"rank(s) {sorted(failed)} still corrupt"
+                )
+            delay = policy.delay(attempt, elapsed=elapsed) if attempt > 0 else 0.0
             if delay > 0.0:
                 time.sleep(delay)
             tag = _VERIFY_TAG - attempt

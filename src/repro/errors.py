@@ -23,6 +23,14 @@ __all__ = [
     "FaultConfigError",
     "RetryExhaustedError",
     "ConformanceFailure",
+    "RankFailureError",
+    "RankKilledError",
+    "RankHungError",
+    "RevokedError",
+    "StallError",
+    "UnsupportedFaultError",
+    "CheckpointError",
+    "AbftError",
 ]
 
 
@@ -84,6 +92,84 @@ class FaultConfigError(ReproError):
 
 class RetryExhaustedError(ReproError):
     """A resilient exchange gave up: every retry and fallback failed."""
+
+
+class RankFailureError(CommunicatorError):
+    """One or more ranks failed; carries the structured failure report.
+
+    Raised by the thread runtime (instead of an opaque join/timeout
+    error) when a rank failure is detected and cannot be, or was not,
+    recovered.  ``report`` is the
+    :class:`~repro.resilience.monitor.FailureReport` describing what the
+    watchdog saw (who failed, how the stall was classified, when).
+    """
+
+    def __init__(self, message: str, report=None) -> None:
+        super().__init__(message)
+        self.report = report
+
+
+class RankKilledError(RankFailureError):
+    """Raised *inside* a rank murdered by a ``kill`` fault rule.
+
+    This is an *expected terminal failure*: the runtime records the
+    death and lets the surviving ranks recover instead of aborting the
+    whole world.
+    """
+
+
+class RankHungError(RankFailureError):
+    """Raised inside a ``hang``-faulted rank once peers detect it.
+
+    The hung thread is parked (no heartbeats, no progress) until the
+    watchdog declares it dead and revokes the world, at which point the
+    thread is released with this error so it can unwind.
+    """
+
+
+class RevokedError(CommunicatorError):
+    """The communicator was revoked after a failure elsewhere (ULFM).
+
+    Every blocking operation on a revoked world raises this promptly —
+    peers blocked in recv/fence must not wait out their full timeout
+    when a failure has already been detected.  Recovery proceeds via
+    ``comm.agree()`` / ``comm.shrink()``, which stay usable.
+    """
+
+    def __init__(self, message: str, report=None) -> None:
+        super().__init__(message)
+        self.report = report
+
+
+class StallError(CommunicatorError):
+    """A blocking operation exceeded its deadline (structured timeout).
+
+    Unlike a bare timeout, carries the watchdog's classification of the
+    stall (straggler / dead / deadlock) and, when raised through a
+    communicator, the :class:`~repro.resilience.monitor.FailureReport`.
+    """
+
+    def __init__(self, message: str, report=None, classification: str = "unknown") -> None:
+        super().__init__(message)
+        self.report = report
+        self.classification = classification
+
+
+class UnsupportedFaultError(FaultConfigError):
+    """A fault plan asks a runtime for an injection it cannot perform.
+
+    The virtual (single-thread, functional) runtime cannot kill or hang
+    a rank — there is no rank to kill.  Raising a typed error keeps the
+    two runtimes from silently diverging under the same plan.
+    """
+
+
+class CheckpointError(ReproError):
+    """A reshape checkpoint is missing, incomplete, or failed its CRC."""
+
+
+class AbftError(ReproError):
+    """An ABFT checksum disagreed beyond the configured tolerance."""
 
 
 class ConformanceFailure(ReproError):

@@ -21,12 +21,13 @@ costs nothing on the happy path.
 """
 
 from repro.faults.injector import FaultInjector
-from repro.faults.plan import FAULT_KINDS, FaultPlan, FaultRule
+from repro.faults.plan import FAULT_KINDS, PROCESS_FAULT_KINDS, FaultPlan, FaultRule
 from repro.faults.report import EVENT_KINDS, ResilienceEvent, ResilienceReport
 from repro.faults.retry import RetryPolicy
 
 __all__ = [
     "FAULT_KINDS",
+    "PROCESS_FAULT_KINDS",
     "EVENT_KINDS",
     "FaultPlan",
     "FaultRule",

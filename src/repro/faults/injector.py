@@ -106,6 +106,24 @@ class FaultInjector:
         hit = self._match("straggle", rank)
         return hit[0].delay if hit is not None else 0.0
 
+    def fail_action(self, rank: int, op: str | None = None) -> str | None:
+        """``"kill"``, ``"hang"`` or ``None`` for this rank's next transport op.
+
+        Consulted by the thread runtime at every transport operation
+        (send/recv/put/barrier).  Both kinds keep their own per-rank op
+        counters, so ``FaultRule(kind="kill", rank=2, after=40)`` means
+        "rank 2 dies at its 41st transport operation" — deterministic
+        regardless of thread interleaving.  ``op`` is recorded in the
+        audit log for post-mortems.
+        """
+        for kind in ("kill", "hang"):
+            hit = self._match(kind, rank)
+            if hit is not None:
+                if op is not None:
+                    self.log[-1]["at"] = op
+                return kind
+        return None
+
     def codec_fault(self, rank: int, peer: int | None = None) -> None:
         """Raise a :class:`TransientCodecError` when a codec rule fires."""
         if self._match("codec", rank, peer) is not None:

@@ -23,6 +23,16 @@ Supported fault kinds:
 ``codec``
     Raise a :class:`~repro.errors.TransientCodecError` from the next
     matching compression call (models a GPU codec hiccup).
+``kill``
+    Terminate the rank at its next matching transport operation (the
+    thread unwinds with :class:`~repro.errors.RankKilledError`; the
+    world records the death instead of aborting — survivors can detect,
+    agree, shrink and restart).
+``hang``
+    Wedge the rank at its next matching transport operation: the thread
+    stops heartbeating and making progress until the watchdog declares
+    it dead and revokes the world (models a livelocked/stuck process
+    rather than a crashed one).
 """
 
 from __future__ import annotations
@@ -31,10 +41,14 @@ from dataclasses import dataclass, field
 
 from repro.errors import FaultConfigError
 
-__all__ = ["FAULT_KINDS", "FaultRule", "FaultPlan"]
+__all__ = ["FAULT_KINDS", "PROCESS_FAULT_KINDS", "FaultRule", "FaultPlan"]
 
 #: Recognised fault kinds, in a fixed order (the index salts the RNG).
-FAULT_KINDS = ("bitflip", "drop", "duplicate", "straggle", "codec")
+#: New kinds append at the end so existing plans replay identically.
+FAULT_KINDS = ("bitflip", "drop", "duplicate", "straggle", "codec", "kill", "hang")
+
+#: Kinds that terminate (or wedge) a whole rank rather than one message.
+PROCESS_FAULT_KINDS = ("kill", "hang")
 
 
 @dataclass(frozen=True)
@@ -124,3 +138,13 @@ class FaultPlan:
 
     def __bool__(self) -> bool:
         return bool(self.rules)
+
+    @property
+    def kinds(self) -> frozenset[str]:
+        """The set of fault kinds this plan can inject."""
+        return frozenset(r.kind for r in self.rules)
+
+    @property
+    def has_process_faults(self) -> bool:
+        """True when the plan can kill or hang a whole rank."""
+        return any(r.kind in PROCESS_FAULT_KINDS for r in self.rules)

@@ -28,6 +28,7 @@ EVENT_KINDS = (
     "degrade",  # the ladder stepped down (lossy -> lossless -> raw)
     "retransmit",  # a block was re-sent to a peer
     "recovered",  # a previously-failed block decoded cleanly
+    "budget-exhausted",  # RetryPolicy.max_elapsed spent; same-codec retries skipped
 )
 
 

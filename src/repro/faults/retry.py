@@ -39,6 +39,14 @@ class RetryPolicy:
         factor in ``[1 - jitter, 1 + jitter]``.
     seed:
         Seed for the jitter stream.
+    max_elapsed:
+        Total-deadline budget (seconds) for one recovery episode.
+        ``None`` (the default) keeps the pre-existing attempts-only
+        bound.  With a budget, callers clamp every backoff to the time
+        remaining (``delay(attempt, elapsed=...)``) and stop retrying
+        once :meth:`budget_exhausted` — so a retry storm during a real
+        rank failure can never outlive the watchdog deadline that is
+        about to reclassify the episode as a rank death.
     """
 
     max_attempts: int = 2
@@ -47,6 +55,7 @@ class RetryPolicy:
     max_delay: float = 0.05
     jitter: float = 0.25
     seed: int = 0
+    max_elapsed: float | None = None
 
     def __post_init__(self) -> None:
         if self.max_attempts < 0:
@@ -59,15 +68,38 @@ class RetryPolicy:
             raise FaultConfigError(f"max_delay must be >= 0, got {self.max_delay}")
         if not 0.0 <= self.jitter < 1.0:
             raise FaultConfigError(f"jitter must be in [0, 1), got {self.jitter}")
+        if self.max_elapsed is not None and self.max_elapsed < 0.0:
+            raise FaultConfigError(f"max_elapsed must be >= 0 or None, got {self.max_elapsed}")
 
-    def delay(self, attempt: int) -> float:
-        """Backoff (seconds) before retry number ``attempt`` (0-based)."""
+    # -- total-deadline budget ----------------------------------------------------
+
+    def remaining(self, elapsed: float) -> float:
+        """Budget left (seconds) after ``elapsed``; ``inf`` when unbounded."""
+        if elapsed < 0.0:
+            raise FaultConfigError(f"elapsed must be >= 0, got {elapsed}")
+        if self.max_elapsed is None:
+            return float("inf")
+        return max(0.0, self.max_elapsed - elapsed)
+
+    def budget_exhausted(self, elapsed: float) -> bool:
+        """True once the total-deadline budget is spent."""
+        return self.remaining(elapsed) <= 0.0
+
+    def delay(self, attempt: int, *, elapsed: float | None = None) -> float:
+        """Backoff (seconds) before retry number ``attempt`` (0-based).
+
+        With ``elapsed`` given and a ``max_elapsed`` budget configured,
+        the (jittered) delay is clamped to the remaining budget so a
+        sleep can never cross the deadline.
+        """
         if attempt < 0:
             raise FaultConfigError(f"attempt must be >= 0, got {attempt}")
         base = min(self.base_delay * self.backoff**attempt, self.max_delay)
         if self.jitter and base > 0.0:
             u = np.random.default_rng([self.seed, attempt]).random()
             base *= 1.0 + self.jitter * (2.0 * u - 1.0)
+        if elapsed is not None:
+            base = min(base, self.remaining(elapsed))
         return float(base)
 
     def schedule(self, n: int | None = None) -> list[float]:

@@ -1,0 +1,66 @@
+"""Rank-failure tolerance (``repro.resilience``).
+
+The fault layer (``repro.faults``) recovers *messages* — a dropped
+fragment, a flipped bit, a codec hiccup.  This package recovers from a
+whole rank dying or wedging mid-FFT, the ULFM-style story:
+
+* :mod:`~repro.resilience.monitor` — heartbeat watchdog: per-rank
+  liveness beacons, deadline-tracked blocking ops, straggler / dead /
+  deadlock classification, structured :class:`~repro.resilience.monitor.FailureReport`;
+* :mod:`~repro.resilience.agreement` — fault-aware agreement on
+  liveness bitmaps (the ``MPIX_Comm_agree`` analogue) so survivors
+  shrink to the *same* communicator;
+* :mod:`~repro.resilience.abft` — algorithm-based per-reshape checksums
+  validated against the codec error budget;
+* :mod:`~repro.resilience.checkpoint` — CRC-framed pencil checkpoints in
+  a world-shared store ("burst buffer") plus the shrink-and-restart
+  driver for :class:`~repro.fft.plan.Fft3d`.
+
+Import discipline: the thread runtime imports :mod:`monitor` and
+:mod:`agreement`; :mod:`checkpoint` imports the runtime and the FFT
+layer back, so it is exposed lazily to keep the package cycle-free.
+"""
+
+from repro.resilience.abft import AbftChecksums, reshape_checksums, verify_checksums
+from repro.resilience.agreement import AgreementSpace, bitmap_ranks, ranks_bitmap
+from repro.resilience.monitor import (
+    STALL_CLASSIFICATIONS,
+    FailureReport,
+    HeartbeatMonitor,
+    PhaseSpan,
+    RankFailure,
+    RevocableBarrier,
+)
+
+__all__ = [
+    "STALL_CLASSIFICATIONS",
+    "AbftChecksums",
+    "AgreementSpace",
+    "CheckpointStore",
+    "FailureReport",
+    "HeartbeatMonitor",
+    "PhaseSpan",
+    "RankFailure",
+    "ResilientFft3d",
+    "RevocableBarrier",
+    "SpmdResult",
+    "bitmap_ranks",
+    "ranks_bitmap",
+    "reshape_checksums",
+    "verify_checksums",
+]
+
+_LAZY = {
+    "CheckpointStore": "repro.resilience.checkpoint",
+    "ResilientFft3d": "repro.resilience.checkpoint",
+    "SpmdResult": "repro.resilience.checkpoint",
+}
+
+
+def __getattr__(name: str):
+    module = _LAZY.get(name)
+    if module is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module), name)

@@ -1,0 +1,482 @@
+"""Heartbeat watchdog: liveness beacons, stall classification, reports.
+
+The fence-synchronised exchanges of the paper (Alg. 3) have the classic
+failure mode of bulk-synchronous code: one dead or wedged rank stalls
+every peer for the full window.  This module supplies the *detection*
+half of the fault-tolerance story:
+
+* every rank beacons (:meth:`HeartbeatMonitor.beat`) at each transport
+  operation — and keeps beaconing while *blocked* in a receive or
+  barrier, because a rank waiting on a dead peer is itself perfectly
+  alive;
+* blocked operations register themselves (:meth:`HeartbeatMonitor.blocked`)
+  so a stall can be attributed to a specific (op, peer, tag);
+* :meth:`HeartbeatMonitor.poll` — run by whichever rank happens to be
+  blocked, every wait quantum; no watchdog thread needed — declares a
+  rank dead when its beacon goes silent past ``suspect_after`` or its
+  thread has exited;
+* a stall is *classified*, not just timed out: ``dead`` (thread gone or
+  explicitly killed), ``deadlock`` (thread alive but silent — a wedged
+  rank, or every live rank blocked on another), ``straggler`` (peer
+  still beaconing, just slow).
+
+Everything the watchdog concludes lands in a structured
+:class:`FailureReport` — which ranks failed, how each stall was
+classified, when detection happened, and the detect → agree → shrink →
+restart recovery timeline — instead of an opaque ``TimeoutError``.
+
+This module deliberately imports nothing from the runtime: the thread
+runtime imports *it*.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+__all__ = [
+    "STALL_CLASSIFICATIONS",
+    "RankFailure",
+    "PhaseSpan",
+    "FailureReport",
+    "HeartbeatMonitor",
+    "RevocableBarrier",
+]
+
+#: How a stalled rank can be classified by the watchdog.
+STALL_CLASSIFICATIONS = ("alive", "straggler", "deadlock", "dead")
+
+#: Recovery phases, in protocol order.
+RECOVERY_PHASES = ("detect", "agree", "shrink", "restart")
+
+
+@dataclass
+class RankFailure:
+    """One detected rank failure.
+
+    ``kind`` is the *cause* (``kill``, ``hang``, ``crash``, ``timeout``);
+    ``classification`` is what the watchdog *observed* (``dead`` for an
+    exited thread, ``deadlock`` for an alive-but-silent one, …).
+    """
+
+    rank: int
+    kind: str
+    classification: str
+    detail: str = ""
+    detected_at: float = 0.0  # seconds since monitor start
+    last_beat_age: float = 0.0  # beacon silence at detection time
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "rank": self.rank,
+            "kind": self.kind,
+            "classification": self.classification,
+            "detail": self.detail,
+            "detected_at_s": round(self.detected_at, 6),
+            "last_beat_age_s": round(self.last_beat_age, 6),
+        }
+
+
+@dataclass
+class PhaseSpan:
+    """One recovery phase interval on one rank (monitor-clock seconds)."""
+
+    name: str
+    rank: int
+    t0: float
+    t1: float
+
+    @property
+    def duration(self) -> float:
+        return self.t1 - self.t0
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "rank": self.rank,
+            "t0_s": round(self.t0, 6),
+            "t1_s": round(self.t1, 6),
+            "duration_s": round(self.duration, 6),
+        }
+
+
+@dataclass
+class FailureReport:
+    """Structured record of a failure episode and its recovery.
+
+    Produced by the runtime instead of an opaque timeout: who failed and
+    how the stall was classified, who survived, and the per-rank
+    detect/agree/shrink/restart timeline.
+    """
+
+    nranks: int = 0
+    failures: list[RankFailure] = field(default_factory=list)
+    survivors: list[int] = field(default_factory=list)
+    phase_spans: list[PhaseSpan] = field(default_factory=list)
+    recovered: bool = False
+    detail: str = ""
+
+    @property
+    def failed_ranks(self) -> list[int]:
+        return sorted(f.rank for f in self.failures)
+
+    def phases(self) -> dict[str, float]:
+        """Aggregate duration per phase (earliest start → latest end)."""
+        out: dict[str, float] = {}
+        for name in RECOVERY_PHASES:
+            spans = [s for s in self.phase_spans if s.name == name]
+            if spans:
+                out[name] = max(s.t1 for s in spans) - min(s.t0 for s in spans)
+        return out
+
+    def phase_sequence_complete(self) -> bool:
+        """True when every recovery phase was recorded, in order."""
+        agg = self.phases()
+        if any(name not in agg for name in RECOVERY_PHASES):
+            return False
+        starts = [
+            min(s.t0 for s in self.phase_spans if s.name == name)
+            for name in RECOVERY_PHASES
+        ]
+        return starts == sorted(starts)
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "schema": "repro-failure-report-v1",
+            "nranks": self.nranks,
+            "failed_ranks": self.failed_ranks,
+            "survivors": list(self.survivors),
+            "recovered": self.recovered,
+            "detail": self.detail,
+            "failures": [f.to_json() for f in self.failures],
+            "phases": {k: round(v, 6) for k, v in self.phases().items()},
+            "phase_spans": [s.to_json() for s in self.phase_spans],
+        }
+
+    def summary(self) -> str:
+        if not self.failures:
+            return f"{self.nranks} ranks: no failures detected"
+        parts = [
+            f"rank {f.rank} {f.kind} ({f.classification}, "
+            f"detected at t+{f.detected_at:.3f}s)"
+            for f in self.failures
+        ]
+        tail = "recovered" if self.recovered else "not recovered"
+        phases = self.phases()
+        if phases:
+            tail += " [" + " -> ".join(
+                f"{k}:{phases[k] * 1e3:.1f}ms" for k in RECOVERY_PHASES if k in phases
+            ) + "]"
+        return f"{self.nranks} ranks: " + "; ".join(parts) + f" — {tail}"
+
+
+class HeartbeatMonitor:
+    """Per-world liveness registry (beacons, blocked ops, failures).
+
+    Parameters
+    ----------
+    nranks:
+        World size.
+    suspect_after:
+        Beacon silence (seconds) after which a rank is declared dead by
+        :meth:`poll`.  Kept well under the blocking-op timeout so a
+        failure is *detected and classified* long before peers would
+        have timed out on their own.
+    """
+
+    def __init__(self, nranks: int, *, suspect_after: float = 30.0) -> None:
+        self.nranks = int(nranks)
+        self.suspect_after = float(suspect_after)
+        self._lock = threading.Lock()
+        self._t0 = time.monotonic()
+        self._started = False
+        self._beats = [0.0] * self.nranks
+        self._threads: dict[int, threading.Thread] = {}
+        self._done: set[int] = set()
+        self._failures: dict[int, RankFailure] = {}
+        # rank -> (op, peer, tag, since) while blocked in a wait loop
+        self._blocked: dict[int, tuple[str, int | None, int | None, float]] = {}
+        self._phase_spans: list[PhaseSpan] = []
+
+    # -- clock --------------------------------------------------------------------
+
+    def now(self) -> float:
+        """Seconds since monitor creation (the report's time base)."""
+        return time.monotonic() - self._t0
+
+    # -- liveness beacons ----------------------------------------------------------
+
+    def start(self) -> None:
+        """Arm the watchdog (all beacons reset to *now*)."""
+        with self._lock:
+            now = self.now()
+            self._beats = [now] * self.nranks
+            self._started = True
+
+    def beat(self, rank: int) -> None:
+        """Liveness beacon from ``rank`` (called at every transport op)."""
+        # A plain float store is atomic under the GIL; no lock on the hot path.
+        self._beats[rank] = self.now()
+
+    def beat_age(self, rank: int) -> float:
+        """Seconds since ``rank`` last beaconed."""
+        return self.now() - self._beats[rank]
+
+    def register_thread(self, rank: int, thread: threading.Thread) -> None:
+        """Associate ``rank`` with its executing thread (for is-alive checks)."""
+        with self._lock:
+            self._threads[rank] = thread
+
+    def mark_done(self, rank: int) -> None:
+        """Record that ``rank`` finished its kernel cleanly.
+
+        A done rank stops beaconing and its thread exits — both of which
+        look exactly like death to the watchdog.  Marking completion
+        exempts it from suspicion (and from agreement's expected set) so
+        peers still blocked in their own final exchanges are not tricked
+        into revoking a healthy world.
+        """
+        with self._lock:
+            self._done.add(rank)
+
+    @contextmanager
+    def blocked(
+        self, rank: int, op: str, peer: int | None = None, tag: int | None = None
+    ) -> Iterator[None]:
+        """Mark ``rank`` as blocked in ``op`` for the duration of the body."""
+        with self._lock:
+            self._blocked[rank] = (op, peer, tag, self.now())
+        try:
+            yield
+        finally:
+            with self._lock:
+                self._blocked.pop(rank, None)
+
+    # -- failure registry -----------------------------------------------------------
+
+    def declare_failed(
+        self, rank: int, kind: str, detail: str = "", classification: str | None = None
+    ) -> RankFailure:
+        """Record a rank failure (idempotent: first declaration wins)."""
+        with self._lock:
+            existing = self._failures.get(rank)
+            if existing is not None:
+                return existing
+            now = self.now()
+            age = self.beat_age(rank)
+            failure = RankFailure(
+                rank=rank,
+                kind=kind,
+                classification=classification or self._classify_locked(rank),
+                detail=detail,
+                detected_at=now,
+                last_beat_age=age,
+            )
+            self._failures[rank] = failure
+            # The detection window: from the victim's last sign of life
+            # to the moment the failure was pinned down.
+            self._phase_spans.append(PhaseSpan("detect", rank, now - age, now))
+            return failure
+
+    def failures(self) -> list[RankFailure]:
+        with self._lock:
+            return sorted(self._failures.values(), key=lambda f: f.rank)
+
+    def dead_ranks(self) -> frozenset[int]:
+        with self._lock:
+            return frozenset(self._failures)
+
+    def absent_ranks(self) -> frozenset[int]:
+        """Ranks that will never contribute again: dead or cleanly done."""
+        with self._lock:
+            return frozenset(self._failures) | frozenset(self._done)
+
+    def alive_ranks(self) -> tuple[int, ...]:
+        dead = self.dead_ranks()
+        return tuple(r for r in range(self.nranks) if r not in dead)
+
+    def alive_bitmap(self) -> int:
+        """Liveness as a bitmap (bit ``r`` set = rank ``r`` believed alive)."""
+        bitmap = 0
+        for r in self.alive_ranks():
+            bitmap |= 1 << r
+        return bitmap
+
+    # -- classification ---------------------------------------------------------------
+
+    def _classify_locked(self, rank: int) -> str:
+        if rank in self._failures:
+            return self._failures[rank].classification
+        if rank in self._done:
+            return "alive"  # finished cleanly; silence is expected
+        thread = self._threads.get(rank)
+        if thread is not None and not thread.is_alive():
+            return "dead"
+        age = self.now() - self._beats[rank]
+        if self._started and age > self.suspect_after:
+            # Alive thread, silent beacon: wedged (our `hang` fault) or a
+            # participant in a mutual-wait cycle.
+            return "deadlock"
+        blocked = self._blocked.get(rank)
+        if blocked is not None and self.now() - blocked[3] > self.suspect_after:
+            # Still beaconing, just slow — unless *every* unfinished rank
+            # is blocked past its deadline, which is a wait cycle: nobody
+            # can ever post the message everybody is waiting for.
+            pending = self.nranks - len(self._failures) - len(self._done)
+            stuck = sum(
+                1
+                for r, (_, _, _, since) in self._blocked.items()
+                if self.now() - since > self.suspect_after
+            )
+            return "deadlock" if stuck >= pending else "straggler"
+        return "alive"
+
+    def classify(self, rank: int) -> str:
+        """Watchdog's current verdict on ``rank`` (see STALL_CLASSIFICATIONS)."""
+        with self._lock:
+            return self._classify_locked(rank)
+
+    def poll(self) -> list[RankFailure]:
+        """Scan beacons; declare silent/exited ranks dead.  Returns *new* deaths.
+
+        Run opportunistically by blocked ranks every wait quantum — the
+        watchdog rides on the threads that are already awake, no
+        dedicated monitor thread.
+        """
+        if not self._started:
+            return []
+        new: list[RankFailure] = []
+        with self._lock:
+            now = self.now()
+            for rank in range(self.nranks):
+                if rank in self._failures or rank in self._done:
+                    continue
+                thread = self._threads.get(rank)
+                thread_dead = thread is not None and not thread.is_alive()
+                silent = now - self._beats[rank] > self.suspect_after
+                if not (thread_dead or silent):
+                    continue
+                classification = "dead" if thread_dead else "deadlock"
+                kind = "crash" if thread_dead else "hang"
+                failure = RankFailure(
+                    rank=rank,
+                    kind=kind,
+                    classification=classification,
+                    detail=(
+                        "thread exited without unwinding"
+                        if thread_dead
+                        else f"beacon silent for {now - self._beats[rank]:.3f}s "
+                        f"(> suspect_after={self.suspect_after:g}s)"
+                    ),
+                    detected_at=now,
+                    last_beat_age=now - self._beats[rank],
+                )
+                self._failures[rank] = failure
+                self._phase_spans.append(PhaseSpan("detect", rank, self._beats[rank], now))
+                new.append(failure)
+        return new
+
+    # -- recovery timeline -------------------------------------------------------------
+
+    @contextmanager
+    def phase(self, name: str, rank: int) -> Iterator[None]:
+        """Record one recovery phase interval for the report timeline."""
+        t0 = self.now()
+        try:
+            yield
+        finally:
+            span = PhaseSpan(name, rank, t0, self.now())
+            with self._lock:
+                self._phase_spans.append(span)
+
+    # -- reporting -----------------------------------------------------------------------
+
+    def build_report(self, *, recovered: bool = False, detail: str = "") -> FailureReport:
+        """Snapshot everything the watchdog knows into a FailureReport."""
+        with self._lock:
+            failures = sorted(self._failures.values(), key=lambda f: f.rank)
+            spans = list(self._phase_spans)
+        survivors = [r for r in range(self.nranks) if all(f.rank != r for f in failures)]
+        return FailureReport(
+            nranks=self.nranks,
+            failures=failures,
+            survivors=survivors,
+            phase_spans=spans,
+            recovered=recovered,
+            detail=detail,
+        )
+
+
+class RevocableBarrier:
+    """Generation-counting barrier whose waiters poll for revocation.
+
+    ``threading.Barrier`` blocks opaquely for its whole timeout; a peer
+    failure detected elsewhere cannot wake it early, and its ``abort``
+    leaves it permanently broken.  This barrier waits in small quanta
+    and runs a caller-supplied ``poll`` callback *outside* the lock each
+    quantum — the callback beacons, runs the watchdog, and raises
+    (``RevokedError`` / ``RuntimeAbort``) to wake the waiter promptly.
+
+    A waiter that unwinds abnormally (timeout or a raising poll) breaks
+    the barrier for the current generation, so no peer is left counting
+    on a departed participant.
+    """
+
+    def __init__(self, parties: int, *, quantum: float = 0.02) -> None:
+        self.parties = int(parties)
+        self.quantum = float(quantum)
+        self._cond = threading.Condition()
+        self._count = 0
+        self._generation = 0
+        self._broken = False
+
+    def abort(self) -> None:
+        """Break the barrier: current and future waiters fail fast."""
+        with self._cond:
+            self._broken = True
+            self._cond.notify_all()
+
+    @property
+    def broken(self) -> bool:
+        return self._broken
+
+    def wait(self, timeout: float | None = None, *, poll=None) -> None:
+        """Wait for all parties; raises ``BrokenBarrierError`` on break/timeout."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            if self._broken:
+                raise threading.BrokenBarrierError
+            generation = self._generation
+            self._count += 1
+            if self._count == self.parties:
+                self._count = 0
+                self._generation += 1
+                self._cond.notify_all()
+                return
+        try:
+            while True:
+                with self._cond:
+                    if self._generation != generation:
+                        return
+                    if self._broken:
+                        raise threading.BrokenBarrierError
+                    now = time.monotonic()
+                    if deadline is not None and now >= deadline:
+                        raise threading.BrokenBarrierError
+                    wait_t = self.quantum if deadline is None else min(self.quantum, deadline - now)
+                    self._cond.wait(timeout=wait_t)
+                # Poll outside the lock: the callback may beacon, run the
+                # watchdog, or raise to revoke — none of which may nest
+                # under this condition (lock-ordering).
+                if poll is not None:
+                    poll()
+        except BaseException:
+            # A departing waiter (timeout, revoke, abort) must not leave
+            # peers counting on it.
+            with self._cond:
+                self._broken = True
+                self._cond.notify_all()
+            raise

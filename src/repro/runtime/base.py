@@ -56,8 +56,17 @@ class Comm(ABC):
         """Buffered-blocking send: ``data`` is copied; safe to reuse after."""
 
     @abstractmethod
-    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> np.ndarray:
-        """Blocking receive, returns a fresh array."""
+    def recv(
+        self,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        timeout: float | None = None,
+    ) -> np.ndarray:
+        """Blocking receive, returns a fresh array.
+
+        ``timeout`` bounds the wait in seconds; ``None`` defers to the
+        runtime default.  ``0`` is honoured as an immediate deadline.
+        """
 
     @abstractmethod
     def isend(self, data: np.ndarray, dest: int, tag: int = 0) -> Request:

@@ -4,19 +4,31 @@ One :class:`Mailbox` per rank.  Senders :meth:`post` (source, tag,
 payload) envelopes; receivers :meth:`match` with optional wildcards.
 Matching follows MPI ordering semantics: messages from the same
 (source, tag) are matched in posting order (non-overtaking).
+
+Waiting is *quantised*: instead of parking on the condition for the
+whole timeout, :meth:`match` wakes every ``quantum`` seconds and runs a
+caller-supplied ``poll`` callback **outside the lock**.  The thread
+runtime uses that callback to beacon liveness, run the failure watchdog
+and raise (:class:`~repro.errors.RevokedError`, abort echoes) — so a
+receiver blocked on a rank that just died is woken within one quantum
+instead of sitting out its full deadline.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
 from dataclasses import dataclass
 
 import numpy as np
 
-from repro.errors import CommunicatorError, RuntimeAbort
+from repro.errors import RuntimeAbort, StallError
 
 __all__ = ["Envelope", "Mailbox"]
+
+#: How often a blocked match re-checks state and runs its poll callback.
+WAIT_QUANTUM = 0.02
 
 
 @dataclass
@@ -24,6 +36,12 @@ class Envelope:
     source: int
     tag: int
     payload: np.ndarray
+
+
+def _describe(source: int, tag: int) -> str:
+    src = "ANY_SOURCE" if source == -1 else f"rank {source}"
+    tg = "ANY_TAG" if tag == -1 else str(tag)
+    return f"source={src}, tag={tg}"
 
 
 class Mailbox:
@@ -34,6 +52,7 @@ class Mailbox:
         self._queue: deque[Envelope] = deque()
         self._cond = threading.Condition()
         self._aborted: str | None = None
+        self._abort_cause: BaseException | None = None
 
     def post(self, env: Envelope) -> None:
         """Deliver an envelope (called from the sender's thread)."""
@@ -41,10 +60,27 @@ class Mailbox:
             self._queue.append(env)
             self._cond.notify_all()
 
-    def abort(self, reason: str) -> None:
-        """Poison the mailbox: all pending/future matches raise."""
+    def abort(self, reason: str, cause: BaseException | None = None) -> None:
+        """Poison the mailbox: all pending/future matches raise.
+
+        ``cause`` (the original exception on the aborting rank, when
+        known) is chained onto every :class:`RuntimeAbort` raised here,
+        so a peer unwinding from the broadcast abort sees *why* in its
+        traceback instead of an opaque echo.
+        """
         with self._cond:
             self._aborted = reason
+            self._abort_cause = cause
+            self._cond.notify_all()
+
+    def kick(self) -> None:
+        """Wake all blocked matchers without poisoning the mailbox.
+
+        Used by revocation: the waiters' poll callbacks decide what to
+        raise; the mailbox itself stays usable (a revoked world still
+        moves control-plane messages during recovery).
+        """
+        with self._cond:
             self._cond.notify_all()
 
     def _find(self, source: int, tag: int) -> Envelope | None:
@@ -54,17 +90,48 @@ class Mailbox:
                 return env
         return None
 
-    def match(self, source: int, tag: int, timeout: float | None) -> Envelope:
-        """Block until a matching envelope arrives (wildcards: -1)."""
-        with self._cond:
-            while True:
+    def _raise_aborted(self) -> None:
+        if self._abort_cause is not None:
+            raise RuntimeAbort(self._aborted) from self._abort_cause
+        raise RuntimeAbort(self._aborted)
+
+    def match(
+        self,
+        source: int,
+        tag: int,
+        timeout: float | None,
+        *,
+        poll=None,
+        quantum: float = WAIT_QUANTUM,
+    ) -> Envelope:
+        """Block until a matching envelope arrives (wildcards: -1).
+
+        Raises :class:`RuntimeAbort` (cause-chained) when the mailbox is
+        poisoned, and a :class:`StallError` naming the awaited source,
+        tag and elapsed time on deadline.  ``poll`` runs outside the
+        lock once per quantum; anything it raises propagates (that is
+        how revocation and watchdog verdicts preempt the deadline).
+        """
+        start = time.monotonic()
+        deadline = None if timeout is None else start + timeout
+        while True:
+            with self._cond:
                 if self._aborted is not None:
-                    raise RuntimeAbort(self._aborted)
+                    self._raise_aborted()
                 env = self._find(source, tag)
                 if env is not None:
                     return env
-                if not self._cond.wait(timeout=timeout):
-                    raise CommunicatorError(
-                        f"rank {self.owner_rank}: recv(source={source}, tag={tag}) "
-                        f"timed out after {timeout}s (deadlock?)"
+                now = time.monotonic()
+                if deadline is not None and now >= deadline:
+                    raise StallError(
+                        f"rank {self.owner_rank}: recv({_describe(source, tag)}) "
+                        f"timed out after {now - start:.3f}s "
+                        f"(limit {timeout}s) — peer dead, wedged, or deadlocked"
                     )
+                wait_t = quantum if deadline is None else min(quantum, deadline - now)
+                self._cond.wait(timeout=wait_t)
+            # Outside the lock: beacon, run the watchdog, surface
+            # revocation.  Must not nest under self._cond — the callback
+            # takes monitor/world locks of its own.
+            if poll is not None:
+                poll()

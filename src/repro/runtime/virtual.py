@@ -15,7 +15,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
-from repro.errors import CommunicatorError
+from repro.errors import CommunicatorError, UnsupportedFaultError
 from repro.machine.topology import Topology
 
 __all__ = ["TrafficLog", "VirtualWorld"]
@@ -67,16 +67,54 @@ class TrafficLog:
 class VirtualWorld:
     """All-ranks-in-one-process functional communicator."""
 
-    def __init__(self, nranks: int, *, topology: Topology | None = None) -> None:
+    def __init__(
+        self,
+        nranks: int,
+        *,
+        topology: Topology | None = None,
+        faults: object | None = None,
+    ) -> None:
         if nranks < 1:
             raise CommunicatorError(f"nranks must be >= 1, got {nranks}")
         if topology is not None and topology.nranks != nranks:
             raise CommunicatorError(
                 f"topology is for {topology.nranks} ranks, world has {nranks}"
             )
+        self._check_faults(faults)
         self.nranks = nranks
         self.topology = topology
         self.traffic = TrafficLog(topology)
+
+    @staticmethod
+    def _check_faults(faults: object | None) -> None:
+        """Refuse fault plans instead of silently not injecting them.
+
+        The virtual world executes collectives as in-process array
+        shuffles — there is no transport to drop messages from, no
+        per-rank thread to kill or wedge, and no watchdog to notice.
+        Accepting a plan here would make a chaos experiment silently
+        fault-free, so any non-empty plan (or live injector) is an
+        explicit :class:`~repro.errors.UnsupportedFaultError` directing
+        the caller to :class:`~repro.runtime.thread_rt.ThreadWorld`.
+        """
+        if faults is None:
+            return
+        plan = getattr(faults, "plan", faults)  # FaultInjector carries its plan
+        rules = getattr(plan, "rules", None)
+        if not rules:
+            return
+        kinds = sorted({r.kind for r in rules})
+        process = sorted(k for k in kinds if k in ("kill", "hang"))
+        what = (
+            f"process faults {process} need per-rank threads and a watchdog"
+            if process
+            else f"fault kinds {kinds} need a real message transport"
+        )
+        raise UnsupportedFaultError(
+            f"VirtualWorld cannot inject faults ({what}); it runs collectives "
+            "as functional array shuffles with no transport, threads, or "
+            "heartbeats. Use ThreadWorld(faults=...) for chaos experiments."
+        )
 
     def reset_traffic(self) -> None:
         self.traffic = TrafficLog(self.topology)

@@ -101,6 +101,9 @@ class Window:
         """Write ``data`` (bytes) into ``target_rank``'s buffer at ``offset``."""
         self._check_alive()
         self._comm._check_rank(target_rank)
+        pre = getattr(self._comm, "_pre", None)
+        if pre is not None:  # beacon + process-fault injection (kill/hang)
+            pre("put", target_rank)
         raw = np.ascontiguousarray(data).view(np.uint8).reshape(-1)
         injector = getattr(self._world, "injector", None)
         if injector is not None:
@@ -225,7 +228,11 @@ class Window:
         self._check_alive()
         if self._held:
             raise WindowError(f"free() with passive-target locks still held: {sorted(self._held)}")
-        self._comm.barrier()
+        if not getattr(self._world, "halted", False):
+            # On an aborted/revoked world the closing barrier can never
+            # complete (peers are unwinding); skipping it lets `finally`
+            # cleanup run without masking the original failure.
+            self._comm.barrier()
         self._freed = True
         if self._win_id is not None:
             release = getattr(self._world, "release_window", None)

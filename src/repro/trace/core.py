@@ -69,6 +69,11 @@ SPAN_KINDS = (
     "sendrecv",  # one two-sided ring step (pairwise algorithm)
     "exchange",  # whole all-to-all of one reshape (parent span)
     "fft",  # one full Fft3d transform (outermost parent span)
+    "checkpoint",  # CRC-framed pencil checkpoint save/load (resilience)
+    "detect",  # failure detection window (last beacon -> declaration)
+    "agree",  # fault-aware agreement on the survivor set (ULFM agree)
+    "shrink",  # communicator rebuild over the survivors (ULFM shrink)
+    "restart",  # checkpointed FFT resume on the shrunk communicator
 )
 
 #: Typed counters accumulated per (rank, name).
@@ -251,6 +256,37 @@ class Tracer:
         buf = self._buf()
         r = rank if rank is not None else buf.rank
         buf.instants.append(InstantEvent(kind, r, self._clock(), attrs))
+
+    def record_span(
+        self,
+        kind: str,
+        rank: int | None = None,
+        *,
+        duration_ns: int,
+        **attrs: Any,
+    ) -> None:
+        """Append an already-closed span ending now, ``duration_ns`` long.
+
+        For intervals whose start is only known in hindsight — e.g. the
+        failure *detection window* (a victim's last beacon to the
+        watchdog verdict), which no context manager could have wrapped.
+        The end timestamp comes from this tracer's clock, so the span
+        lines up with context-manager spans in the Chrome export.
+        """
+        if not self.enabled:
+            return
+        buf = self._buf()
+        r = rank if rank is not None else buf.rank
+        duration = max(0, int(duration_ns))
+        if self._hist_factory is not None:
+            key = (r, kind)
+            hist = buf.histograms.get(key)
+            if hist is None:
+                hist = buf.histograms[key] = self._hist_factory()
+            hist.add(duration)
+        else:
+            t1 = self._clock()
+            buf.spans.append(SpanEvent(kind, r, t1 - duration, t1, buf.depth, attrs))
 
     def incr(self, name: str, value: float = 1, *, rank: int | None = None) -> None:
         """Add ``value`` to counter ``name`` on ``rank``.

@@ -1,0 +1,461 @@
+"""Rank-failure tolerance: detection, agreement, shrink, restart.
+
+Covers the ``repro.resilience`` package plus the runtime plumbing it
+rides on (DESIGN.md §10): the heartbeat watchdog and its stall
+classifications, liveness agreement and communicator shrink, the
+CRC-framed checkpoint store, ABFT reshape checksums, the end-to-end
+kill/hang FFT drills, the :class:`RetryPolicy` total-deadline budget,
+and the virtual runtime's refusal of fault plans.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    AbftError,
+    CheckpointError,
+    CommunicatorError,
+    FaultConfigError,
+    StallError,
+    UnsupportedFaultError,
+)
+from repro.faults import FaultInjector, FaultPlan, FaultRule, RetryPolicy
+from repro.fft.plan import Fft3d
+from repro.resilience import (
+    AgreementSpace,
+    CheckpointStore,
+    FailureReport,
+    HeartbeatMonitor,
+    ResilientFft3d,
+    bitmap_ranks,
+    ranks_bitmap,
+    reshape_checksums,
+    verify_checksums,
+)
+from repro.runtime.thread_rt import ThreadWorld, run_spmd
+from repro.runtime.virtual import VirtualWorld
+
+
+def _roundtrip_kernel(fft: ResilientFft3d, data: np.ndarray):
+    """Forward+inverse transform; rank 0 of the final comm returns the
+    assembled global array plus recovery metadata."""
+
+    def kernel(comm):
+        local = fft.plan.scatter(data)[comm.rank]
+        fwd = fft.run_spmd(comm, local)
+        back = fft.run_spmd(fwd.comm, fwd.block, inverse=True)
+        blocks = back.comm.allgather(back.block)
+        if back.comm.rank != 0:
+            return None
+        return back.plan.gather(blocks), fwd.recovered or back.recovered, (
+            back.report or fwd.report
+        )
+
+    return kernel
+
+
+# -- RetryPolicy total-deadline budget ---------------------------------------------
+
+
+class TestRetryBudget:
+    def test_unbounded_by_default(self):
+        policy = RetryPolicy()
+        assert policy.max_elapsed is None
+        assert policy.remaining(1e9) == float("inf")
+        assert not policy.budget_exhausted(1e9)
+
+    def test_remaining_and_exhaustion(self):
+        policy = RetryPolicy(max_elapsed=0.5)
+        assert policy.remaining(0.0) == pytest.approx(0.5)
+        assert policy.remaining(0.2) == pytest.approx(0.3)
+        assert policy.remaining(0.5) == 0.0
+        assert policy.remaining(2.0) == 0.0
+        assert not policy.budget_exhausted(0.49)
+        assert policy.budget_exhausted(0.5)
+
+    def test_delay_clamped_to_remaining_budget(self):
+        policy = RetryPolicy(base_delay=1.0, max_delay=1.0, jitter=0.0, max_elapsed=0.3)
+        assert policy.delay(0) == pytest.approx(1.0)  # no elapsed -> unclamped
+        assert policy.delay(0, elapsed=0.25) == pytest.approx(0.05)
+        assert policy.delay(0, elapsed=0.3) == 0.0
+        # without a budget, elapsed is irrelevant
+        assert RetryPolicy(base_delay=1.0, max_delay=1.0, jitter=0.0).delay(
+            0, elapsed=99.0
+        ) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(FaultConfigError):
+            RetryPolicy(max_elapsed=-0.1)
+        with pytest.raises(FaultConfigError):
+            RetryPolicy(max_elapsed=1.0).remaining(-1.0)
+
+    def test_spent_budget_skips_same_codec_retries(self):
+        """A codec hiccup with no time budget left degrades immediately."""
+        from repro.collectives import CompressedOscAlltoallv
+        from repro.compression import CastCodec
+
+        plan = FaultPlan([FaultRule("codec", rank=0)], seed=2)
+        world = ThreadWorld(4, faults=plan)
+
+        def kernel(comm):
+            rng = np.random.default_rng(comm.rank)
+            op = CompressedOscAlltoallv(
+                comm,
+                CastCodec("fp32"),
+                retry_policy=RetryPolicy(
+                    max_attempts=5, base_delay=1e-4, max_elapsed=0.0
+                ),
+            )
+            try:
+                op([rng.standard_normal(32) for _ in range(comm.size)])
+            finally:
+                op.free()
+            return op.last_report
+
+        report0 = world.run(kernel)[0]
+        assert report0.count("transient-codec") == 1
+        assert report0.count("budget-exhausted") == 1
+        assert report0.count("retry") == 0  # max_attempts never consulted
+        assert report0.count("degrade") == 1
+
+
+# -- VirtualWorld refuses fault plans ----------------------------------------------
+
+
+class TestVirtualWorldFaults:
+    def test_no_faults_accepted(self):
+        VirtualWorld(4)
+        VirtualWorld(4, faults=None)
+        VirtualWorld(4, faults=FaultPlan())  # empty plan is harmless
+
+    @pytest.mark.parametrize("kind", ["kill", "hang"])
+    def test_process_faults_rejected(self, kind):
+        plan = FaultPlan(rules=[FaultRule(kind=kind, rank=0)])
+        with pytest.raises(UnsupportedFaultError, match="per-rank threads"):
+            VirtualWorld(4, faults=plan)
+
+    def test_message_faults_rejected(self):
+        plan = FaultPlan(rules=[FaultRule(kind="drop", rank=1)])
+        with pytest.raises(UnsupportedFaultError, match="message transport"):
+            VirtualWorld(4, faults=plan)
+
+    def test_injector_rejected_too(self):
+        injector = FaultInjector(FaultPlan(rules=[FaultRule(kind="hang", rank=2)]))
+        with pytest.raises(UnsupportedFaultError):
+            VirtualWorld(4, faults=injector)
+
+
+# -- per-call recv timeouts ---------------------------------------------------------
+
+
+class TestRecvTimeout:
+    def test_caller_timeout_honoured(self):
+        """recv(timeout=...) must trip long before the world deadline."""
+
+        def kernel(comm):
+            if comm.rank == 1:
+                t0 = time.monotonic()
+                with pytest.raises(StallError) as exc_info:
+                    comm.recv(source=0, timeout=0.15)  # never sent
+                took = time.monotonic() - t0
+                return took, str(exc_info.value)
+            time.sleep(0.6)  # keep rank 0 alive so only the timeout fires
+            return None
+
+        results = run_spmd(2, kernel, timeout=30.0)
+        took, message = results[1]
+        assert took < 5.0  # far under the 30 s world deadline
+        assert "rank 1" in message and "source=rank 0" in message
+        assert "timed out" in message and "limit 0.15s" in message
+
+    def test_irecv_wait_timeout_honoured(self):
+        def kernel(comm):
+            if comm.rank == 1:
+                req = comm.irecv(source=0)
+                with pytest.raises(StallError):
+                    req.wait(timeout=0.15)
+            else:
+                time.sleep(0.5)
+
+        run_spmd(2, kernel, timeout=30.0)
+
+
+# -- heartbeat monitor --------------------------------------------------------------
+
+
+class TestHeartbeatMonitor:
+    def test_done_ranks_never_declared_dead(self):
+        mon = HeartbeatMonitor(2, suspect_after=0.01)
+        mon.start()
+        mon.mark_done(0)
+        time.sleep(0.03)
+        mon.beat(1)  # the other rank is genuinely alive
+        assert mon.classify(0) == "alive"
+        assert mon.poll() == []  # silence after a clean finish is expected
+        assert 0 in mon.absent_ranks()  # but it no longer counts for agreement
+
+    def test_silent_rank_declared_deadlocked(self):
+        mon = HeartbeatMonitor(2, suspect_after=0.01)
+        mon.start()
+        mon.beat(0)
+        time.sleep(0.05)
+        mon.beat(0)  # rank 0 stays chatty; rank 1 never beats
+        failures = mon.poll()
+        assert [f.rank for f in failures] == [1]
+        assert failures[0].classification in ("dead", "deadlock")
+        assert mon.dead_ranks() == frozenset({1})
+        assert mon.alive_ranks() == (0,)
+
+    def test_declare_failed_idempotent(self):
+        mon = HeartbeatMonitor(3, suspect_after=10.0)
+        mon.start()
+        first = mon.declare_failed(2, "kill", "test")
+        second = mon.declare_failed(2, "crash", "later duplicate")
+        assert first is second  # first declaration wins
+        assert len(mon.failures()) == 1
+
+    def test_report_sequence_and_json(self):
+        mon = HeartbeatMonitor(4, suspect_after=10.0)
+        mon.start()
+        mon.declare_failed(3, "kill", "test")
+        for phase in ("agree", "shrink", "restart"):
+            with mon.phase(phase, rank=0):
+                time.sleep(0.002)
+        report = mon.build_report(recovered=True)
+        assert isinstance(report, FailureReport)
+        assert report.failed_ranks == [3]
+        assert report.survivors == [0, 1, 2]
+        assert report.phase_sequence_complete()
+        payload = report.to_json()
+        assert payload["schema"] == "repro-failure-report-v1"
+        json.dumps(payload)  # artefact must be JSON-serialisable as-is
+
+
+# -- agreement ----------------------------------------------------------------------
+
+
+class TestAgreement:
+    def test_bitmap_helpers_roundtrip(self):
+        ranks = (0, 2, 5)
+        bitmap = ranks_bitmap(ranks)
+        assert bitmap == 0b100101
+        assert bitmap_ranks(bitmap, 6) == ranks
+        assert bitmap_ranks(ranks_bitmap(()), 4) == ()
+
+    def test_agree_is_and_of_contributions(self):
+        space = AgreementSpace(3)
+        rounds = [space.next_round(r) for r in range(3)]
+        assert len(set(rounds)) == 1
+        contributions = {0: 0b111, 1: 0b011, 2: 0b111}
+        results = {}
+        import threading
+
+        def contribute(rank):
+            results[rank] = space.agree(
+                rank,
+                rounds[rank],
+                contributions[rank],
+                dead_ranks=frozenset,
+                timeout=5.0,
+            )
+
+        threads = [threading.Thread(target=contribute, args=(r,)) for r in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert set(results.values()) == {0b011}
+
+
+# -- checkpoint store ---------------------------------------------------------------
+
+
+class TestCheckpointStore:
+    def test_save_load_roundtrip(self, rng):
+        store = CheckpointStore()
+        block = rng.standard_normal((2, 3, 4)) + 1j * rng.standard_normal((2, 3, 4))
+        store.save(("t", 0), block)
+        out = store.load(("t", 0))
+        assert out.dtype == block.dtype and out.shape == block.shape
+        np.testing.assert_array_equal(out, block)
+
+    def test_missing_key(self):
+        with pytest.raises(CheckpointError, match="no checkpoint"):
+            CheckpointStore().load("nope")
+
+    def test_corruption_detected(self, rng):
+        backing: dict = {}
+        import threading
+
+        store = CheckpointStore(backing, threading.Lock())
+        store.save("k", rng.standard_normal(16))
+        frame = backing["k"].copy()
+        frame[len(frame) // 2] ^= 0xFF  # flip payload bits; CRC must catch it
+        backing["k"] = frame
+        with pytest.raises(CheckpointError, match="failed validation"):
+            store.load("k")
+
+    def test_last_complete_stage_requires_all_ranks(self, rng):
+        store = CheckpointStore()
+        block = rng.standard_normal(4)
+        for r in range(3):
+            store.save(("fft3d", 3, 0, r), block)
+        store.save(("fft3d", 3, 1, 0), block)  # stage 1 incomplete (rank 1/2 missing)
+        assert store.last_complete_stage("fft3d", 3) == 0
+        assert CheckpointStore().last_complete_stage("fft3d", 3) is None
+
+
+# -- ABFT reshape checksums ---------------------------------------------------------
+
+
+class TestAbft:
+    def test_checksums_agree_across_identity_reshape(self, rng):
+        plan = Fft3d((8, 8, 8), 4)
+        rplan = plan.reshapes[0]
+        data = rng.standard_normal((8, 8, 8)) + 1j * rng.standard_normal((8, 8, 8))
+        locals_ = plan.scatter(data)
+
+        def kernel(comm):
+            block = locals_[comm.rank]
+            mine = reshape_checksums(rplan, comm.rank, block)
+            sent: dict = {}
+            for entries in comm.allgather(mine.entries):
+                sent.update(entries)
+            out = rplan.run_spmd(comm, block)
+            got = reshape_checksums(rplan, comm.rank, out, direction="recv")
+            return verify_checksums(sent, got, 1e-12)
+
+        checked = run_spmd(4, kernel, timeout=30.0)
+        assert all(c > 0 for c in checked)
+
+    def test_violation_raises(self, rng):
+        plan = Fft3d((8, 8, 8), 4)
+        rplan = plan.reshapes[0]
+        data = rng.standard_normal((8, 8, 8)) + 1j * rng.standard_normal((8, 8, 8))
+        locals_ = plan.scatter(data)
+
+        def kernel(comm):
+            block = locals_[comm.rank]
+            mine = reshape_checksums(rplan, comm.rank, block)
+            sent: dict = {}
+            for entries in comm.allgather(mine.entries):
+                sent.update(entries)
+            out = rplan.run_spmd(comm, block)
+            if comm.rank == 2:
+                out = out + 1.0  # silent corruption after the exchange
+            got = reshape_checksums(rplan, comm.rank, out, direction="recv")
+            try:
+                verify_checksums(sent, got, 1e-12)
+            except AbftError as exc:
+                return str(exc)
+            return None
+
+        results = run_spmd(4, kernel, timeout=30.0)
+        assert results[2] is not None and "checksum" in results[2]
+        assert all(r is None for i, r in enumerate(results) if i != 2)
+
+    def test_missing_sender_entry_is_an_error(self, rng):
+        plan = Fft3d((8, 8, 8), 2)
+        rplan = plan.reshapes[0]
+        locals_ = plan.scatter(rng.standard_normal((8, 8, 8)).astype(complex))
+
+        def kernel(comm):
+            out = rplan.run_spmd(comm, locals_[comm.rank])
+            got = reshape_checksums(rplan, comm.rank, out, direction="recv")
+            with pytest.raises(AbftError, match="no sender checksum"):
+                verify_checksums({}, got, 1e-6)
+
+        run_spmd(2, kernel, timeout=30.0)
+
+
+# -- end-to-end kill / hang drills --------------------------------------------------
+
+
+class TestKillRecovery:
+    def test_fft_completes_on_shrunk_comm(self, rng):
+        shape, nranks = (16, 8, 8), 4
+        data = (
+            rng.standard_normal(shape) + 1j * rng.standard_normal(shape)
+        ).astype(np.complex128)
+        fft = ResilientFft3d(shape, nranks, e_tol=1e-6)
+        plan = FaultPlan(rules=[FaultRule(kind="kill", rank=1, after=12)])
+        world = ThreadWorld(nranks, timeout=20.0, faults=plan, suspect_after=0.5)
+        results = [r for r in world.run(_roundtrip_kernel(fft, data)) if r is not None]
+        assert len(results) == 1
+        full, recovered, report = results[0]
+        assert recovered
+        err = np.max(np.abs(full - data)) / np.max(np.abs(data))
+        assert err <= fft.plan.guaranteed_tolerance
+        assert report is not None
+        assert report.failed_ranks == [1]
+        assert report.recovered
+        assert report.phase_sequence_complete()
+        assert 1 not in report.survivors
+
+    def test_recovery_phases_land_in_chrome_trace(self, rng):
+        from repro.trace import chrome_trace, tracing
+
+        shape, nranks = (8, 8, 8), 4
+        data = (
+            rng.standard_normal(shape) + 1j * rng.standard_normal(shape)
+        ).astype(np.complex128)
+        fft = ResilientFft3d(shape, nranks, e_tol=1e-6)
+        plan = FaultPlan(rules=[FaultRule(kind="kill", rank=2, after=8)])
+        with tracing() as tracer:
+            world = ThreadWorld(nranks, timeout=20.0, faults=plan, suspect_after=0.5)
+            world.run(_roundtrip_kernel(fft, data))
+            spans = {s.kind for s in tracer.span_events()}
+            events = chrome_trace(tracer)["traceEvents"]
+        assert {"detect", "agree", "shrink", "restart", "checkpoint"} <= spans
+        names = {e.get("name") for e in events}
+        assert {"detect", "agree", "shrink", "restart"} <= names
+
+
+class TestHangRecovery:
+    def test_hang_detected_well_under_join_deadline(self, rng):
+        shape, nranks = (8, 8, 8), 4
+        timeout = 6.0
+        data = (
+            rng.standard_normal(shape) + 1j * rng.standard_normal(shape)
+        ).astype(np.complex128)
+        fft = ResilientFft3d(shape, nranks, e_tol=1e-6)
+        plan = FaultPlan(rules=[FaultRule(kind="hang", rank=1, after=8)])
+        world = ThreadWorld(nranks, timeout=timeout, faults=plan, suspect_after=0.3)
+        t0 = time.monotonic()
+        results = [r for r in world.run(_roundtrip_kernel(fft, data)) if r is not None]
+        took = time.monotonic() - t0
+        assert took < 2 * timeout  # surfaced well before the join deadline
+        full, recovered, report = results[0]
+        assert recovered
+        err = np.max(np.abs(full - data)) / np.max(np.abs(data))
+        assert err <= fft.plan.guaranteed_tolerance
+        (failure,) = report.failures
+        assert failure.kind == "hang"
+        assert failure.classification in ("deadlock", "dead")
+
+
+class TestResilienceCli:
+    def test_kill_drill_writes_artifacts(self, tmp_path):
+        from repro.resilience.cli import run_resilience_cli
+
+        code = run_resilience_cli(
+            kind="kill", nranks=4, n=8, after=8, out=str(tmp_path)
+        )
+        assert code == 0
+        report = json.loads((tmp_path / "failure_report_kill.json").read_text())
+        assert report["schema"] == "repro-failure-report-v1"
+        assert report["recovered"] is True
+        trace = json.loads((tmp_path / "trace_resilience_kill.json").read_text())
+        names = {e.get("name") for e in trace["traceEvents"]}
+        assert {"agree", "shrink", "restart"} <= names
+
+    def test_unknown_kind_rejected(self):
+        from repro.resilience.cli import run_drill
+
+        with pytest.raises(ValueError, match="unknown drill kind"):
+            run_drill("meteor")
