@@ -23,6 +23,10 @@ the perf analysis / regression gate (see DESIGN.md §9):
     python -m repro perf compare --baseline BENCH_pr4.json
     python -m repro perf report --case alltoall
 
+the exchange autotuner (see DESIGN.md §11):
+
+    python -m repro tune --ranks 4 --n 16 --machine laptop
+
 and the rank-failure recovery drills (see DESIGN.md §10):
 
     python -m repro resilience                   # kill + hang drills
@@ -166,6 +170,23 @@ def _build_parser() -> argparse.ArgumentParser:
     perf_p.add_argument("--ranks", type=int, default=4, help="report workload ranks")
     _add_common_flags(perf_p)
 
+    tune_p = sub.add_parser(
+        "tune", help="measured exchange sweep; writes a TUNING_<name>.json profile"
+    )
+    tune_p.add_argument("--ranks", type=int, default=4, help="SPMD thread ranks")
+    tune_p.add_argument("--n", type=int, default=16, help="grid edge (n^3 cells)")
+    tune_p.add_argument(
+        "--machine", choices=("laptop", "summit"), default="laptop", help="machine preset"
+    )
+    tune_p.add_argument("--repeats", type=int, default=3, help="median-of-k repeats per candidate")
+    tune_p.add_argument("--iters", type=int, default=2, help="timed reshapes per repeat")
+    tune_p.add_argument(
+        "--e-tol", type=float, default=None, help="restrict lossy candidates to this tolerance"
+    )
+    tune_p.add_argument("--name", default="tune", help="TUNING_<name>.json artefact name")
+    tune_p.add_argument("--timeout", type=float, default=120.0, help="per-measurement world deadline")
+    _add_common_flags(tune_p)
+
     res_p = sub.add_parser(
         "resilience", help="rank-failure drill: kill/hang a rank mid-FFT and recover"
     )
@@ -244,6 +265,22 @@ def main(argv: list[str] | None = None) -> int:
             slowdown=args.slowdown,
             case=args.case,
             nranks=args.ranks,
+        )
+
+    if args.command == "tune":
+        from repro.tuning.cli import run_tune_cli
+
+        return run_tune_cli(
+            n=args.n,
+            nranks=args.ranks,
+            machine=args.machine,
+            repeats=args.repeats,
+            iters=args.iters,
+            e_tol=args.e_tol,
+            name=args.name,
+            out=args.out,
+            seed=args.seed,
+            timeout=args.timeout,
         )
 
     if args.command == "resilience":

@@ -18,6 +18,7 @@ Three interchangeable implementations of the generalized all-to-all
 from repro.collectives.compressed import CompressedOscAlltoallv, ExchangeStats
 from repro.collectives.osc import OscAlltoallv, osc_alltoallv
 from repro.collectives.pairwise import pairwise_alltoallv
+from repro.collectives.twolevel import TwoLevelCompressedAlltoallv
 from repro.collectives.variants import bruck_alltoall, linear_alltoallv
 from repro.collectives.wire import WIRE_MAGIC, WIRE_VERSION, decode_wire, encode_wire
 
@@ -26,6 +27,7 @@ __all__ = [
     "OscAlltoallv",
     "osc_alltoallv",
     "CompressedOscAlltoallv",
+    "TwoLevelCompressedAlltoallv",
     "ExchangeStats",
     "linear_alltoallv",
     "bruck_alltoall",

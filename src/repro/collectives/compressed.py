@@ -38,7 +38,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.collectives.pairwise import ring_peers
-from repro.collectives.wire import decode_wire, encode_wire, frame_length
+from repro.collectives.wire import decode_wire, encode_wire
 from repro.compression.base import Codec, CompressedMessage, IdentityCodec
 from repro.compression.lossless import ShuffleZlibCodec
 from repro.conformance import hooks
@@ -53,6 +53,7 @@ from repro.faults import ResilienceReport, RetryPolicy
 from repro.machine.topology import Topology
 from repro.runtime.base import Comm
 from repro.runtime.window import Window
+from repro.tuning.pool import BufferPool
 from repro.trace import incr as trace_incr
 from repro.trace import record_report as trace_report
 from repro.trace import span as trace_span
@@ -107,7 +108,18 @@ class CompressedOscAlltoallv:
     lossless_fallback:
         Lossless codec used by the degradation ladder (default:
         byte-shuffle + zlib).
+    pool:
+        Optional :class:`~repro.tuning.pool.BufferPool` staging the wire
+        frames; with a warm pool a steady-state exchange allocates no
+        per-call staging memory.
+    tuned:
+        Tuning-profile key that selected this exchange's configuration
+        (stamped on the exchange span for the perf gate); ``None`` for
+        hand-picked settings.
     """
+
+    #: Algorithm name stamped on the exchange span.
+    algorithm = "compressed-osc"
 
     def __init__(
         self,
@@ -119,6 +131,8 @@ class CompressedOscAlltoallv:
         retry_policy: RetryPolicy | None = None,
         e_tol: float | None = None,
         lossless_fallback: Codec | None = None,
+        pool: BufferPool | None = None,
+        tuned: str | None = None,
     ) -> None:
         if topology is not None and topology.nranks != comm.size:
             raise CommunicatorError("topology size does not match communicator size")
@@ -136,6 +150,8 @@ class CompressedOscAlltoallv:
                 f"lossless_fallback must be lossless, got {self._lossless.name}"
             )
         self._raw = IdentityCodec()
+        self.pool = pool
+        self.tuned = tuned
         self.last_stats = ExchangeStats()
         self.last_report = ResilienceReport(rank=comm.rank)
         self._win: Window | None = None
@@ -275,12 +291,14 @@ class CompressedOscAlltoallv:
         codec: Codec | None,
         report: ResilienceReport,
         stats: ExchangeStats | None,
+        pool: BufferPool | None = None,
     ) -> list[np.ndarray]:
         """Encode one destination's data into wire frames.
 
         ``codec=None`` uses the resilient primary path (transient-fault
         retries + e_tol check); recovery rounds pass an explicit ladder
-        codec instead.
+        codec instead.  ``pool`` stages the frames in reusable buffers
+        (the hot path releases them once the puts have landed).
         """
         frames: list[np.ndarray] = []
         for chunk_idx, frag in enumerate(self._split(arr)):
@@ -300,19 +318,28 @@ class CompressedOscAlltoallv:
                 stats.sent_messages += 1
                 stats.original_bytes += 8 * msg.n_values
                 stats.wire_bytes += msg.nbytes
-            frames.append(encode_wire(msg))
+            frames.append(encode_wire(msg, pool=pool))
         return frames
 
     # -- decode side -----------------------------------------------------------------
 
     def _decode_region(self, region: np.ndarray) -> np.ndarray:
-        """Walk and decode the checksummed frames of one source block."""
+        """Walk and decode the checksummed frames of one source block.
+
+        Each header is parsed exactly once — :func:`decode_wire` returns
+        the consumed frame length alongside the message.  An empty
+        region decodes to an empty FP64 block (``np.concatenate`` on an
+        empty list raises, and a zero-frame region is legitimate when a
+        peer's block compressed to nothing).
+        """
         parts: list[np.ndarray] = []
         pos = 0
         while pos < region.size:
-            msg = decode_wire(region[pos:])
-            pos += frame_length(region[pos:])
+            msg, consumed = decode_wire(region[pos:])
+            pos += consumed
             parts.append(self._decompress(msg))
+        if not parts:
+            return np.zeros(0, dtype=np.float64)
         return parts[0] if len(parts) == 1 else np.concatenate(parts)
 
     # -- recovery --------------------------------------------------------------------
@@ -418,13 +445,15 @@ class CompressedOscAlltoallv:
         # The exchange span makes one collective call a critical-path
         # scope of its own even outside a reshape (repro.perf groups
         # outermost exchange spans into rounds).
-        with trace_span(
-            "exchange",
+        attrs = dict(
             rank=self.comm.rank,
-            algorithm="compressed-osc",
+            algorithm=self.algorithm,
             codec=self.codec.name,
             pipeline_chunks=self.pipeline_chunks,
-        ):
+        )
+        if self.tuned is not None:
+            attrs["tuned"] = self.tuned
+        with trace_span("exchange", **attrs):
             return self._exchange(send)
 
     def _exchange(self, send: Sequence[np.ndarray | None]) -> list[np.ndarray]:
@@ -446,7 +475,7 @@ class CompressedOscAlltoallv:
                 continue
             arr = np.ascontiguousarray(data)
             arrays.append(arr)
-            dest_frames = self._encode_block(arr, dest, None, report, stats)
+            dest_frames = self._encode_block(arr, dest, None, report, stats, self.pool)
             frames.append(dest_frames)
             frame_sizes[dest] = sum(f.size for f in dest_frames)
 
@@ -488,6 +517,13 @@ class CompressedOscAlltoallv:
 
         with trace_span("fence", rank=comm.rank, epoch="close"):
             win.fence()
+
+        # Puts have landed in every target window; the staging frames
+        # can go back to the pool for the next exchange.
+        if self.pool is not None:
+            for dest_frames in frames:
+                for frame in dest_frames:
+                    self.pool.release(frame)
 
         # Step 2: decompress the entire received buffer, CRC-checked per
         # frame; blocks that fail integrity are queued for recovery.

@@ -38,6 +38,7 @@ from repro.faults import ResilienceReport, RetryPolicy
 from repro.machine.topology import Topology
 from repro.runtime.base import Comm
 from repro.runtime.window import Window
+from repro.tuning.pool import BufferPool
 from repro.trace import incr as trace_incr
 from repro.trace import record_report as trace_report
 from repro.trace import span as trace_span
@@ -67,6 +68,9 @@ class OscAlltoallv:
         retransmit corrupted ones two-sided.
     retry_policy:
         Bounded retry/backoff schedule for verify-mode recovery.
+    pool:
+        Optional :class:`~repro.tuning.pool.BufferPool` staging the
+        per-source receive copies; callers release them when consumed.
     """
 
     def __init__(
@@ -76,12 +80,14 @@ class OscAlltoallv:
         topology: Topology | None = None,
         verify: bool = False,
         retry_policy: RetryPolicy | None = None,
+        pool: BufferPool | None = None,
     ) -> None:
         if topology is not None and topology.nranks != comm.size:
             raise CommunicatorError("topology size does not match communicator size")
         self.comm = comm
         self.topology = topology
         self.verify = bool(verify)
+        self.pool = pool
         self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
         self.last_report = ResilienceReport(rank=comm.rank)
         self._win: Window | None = None
@@ -231,7 +237,13 @@ class OscAlltoallv:
         recv: list[np.ndarray] = []
         for s in range(p):
             size = int(all_sizes[s, comm.rank])
-            recv.append(local[int(offsets[s]) : int(offsets[s]) + size].copy())
+            region = local[int(offsets[s]) : int(offsets[s]) + size]
+            if self.pool is None:
+                recv.append(region.copy())
+            else:
+                block = self.pool.acquire(size)
+                np.copyto(block, region)
+                recv.append(block)
 
         if self.verify:
             failed = [
@@ -255,9 +267,12 @@ def osc_alltoallv(
     topology: Topology | None = None,
     verify: bool = False,
     retry_policy: RetryPolicy | None = None,
+    pool: BufferPool | None = None,
 ) -> list[np.ndarray]:
     """One-shot helper (no window caching): build, exchange, free."""
-    op = OscAlltoallv(comm, topology=topology, verify=verify, retry_policy=retry_policy)
+    op = OscAlltoallv(
+        comm, topology=topology, verify=verify, retry_policy=retry_policy, pool=pool
+    )
     try:
         return op(send)
     finally:

@@ -22,6 +22,7 @@ from repro.machine.topology import Topology
 from repro.runtime.base import Comm
 from repro.trace import incr as trace_incr
 from repro.trace import span as trace_span
+from repro.utils.arrays import no_alias_copy
 
 __all__ = ["pairwise_alltoallv", "ring_peers"]
 
@@ -76,9 +77,11 @@ def pairwise_alltoallv(
     empty = np.zeros(0, dtype=np.uint8)
     recv: list[np.ndarray] = [empty] * p
 
-    # Step 0 is the local (self) exchange.
+    # Step 0 is the local (self) exchange: exactly one copy, and never
+    # an alias of the caller's send buffer (ascontiguousarray alone
+    # returns the input itself when it is already contiguous).
     mine = send[comm.rank]
-    recv[comm.rank] = (empty if mine is None else np.ascontiguousarray(mine)).copy()
+    recv[comm.rank] = no_alias_copy(mine)
     if mine is not None:
         trace_incr("messages", 1, rank=comm.rank)
         trace_incr("logical_bytes", int(recv[comm.rank].nbytes), rank=comm.rank)

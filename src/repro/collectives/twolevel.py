@@ -1,0 +1,283 @@
+"""Node-aware two-level compressed all-to-all (gather → exchange → scatter).
+
+The flat compressed ring puts one message per *rank* pair on the wire:
+``p * (p - 1)`` inter-rank messages, of which all but the intra-node
+ones cross a NIC.  On a hierarchical machine the NIC — not the GPU — is
+the scarce resource, and gZCCL-style collectives restructure the
+exchange around it:
+
+1. **intra-node gather** — every rank ships its (already compressed)
+   blocks bound for remote node ``m`` to a designated *send leader* on
+   its own node (NVLink-class links, cheap);
+2. **inter-node exchange** — the send leader concatenates its node's
+   blocks and sends **one** aggregate message to a *recv leader* on node
+   ``m`` (exactly one NIC message per ordered node pair per round);
+3. **intra-node scatter** — the recv leader slices the aggregate along
+   the size matrix agreed up front and forwards each block to its final
+   rank on the node.
+
+Blocks bound for the sender's own node skip all three stages and go
+directly (stage 0).  Leader duty is spread across the node's ranks —
+the leader for peer node ``m`` is the local rank ``m % g`` — so no
+single rank serialises the node's NIC traffic.
+
+The payload bytes on the wire are *identical* to the flat exchange
+(same codec, same per-destination frames, same CRC-checked wire
+format), so the class reuses the whole encode/decode/recovery machinery
+of :class:`~repro.collectives.compressed.CompressedOscAlltoallv` and is
+validated byte-for-byte against it by the conformance oracles.  No
+routing headers are needed anywhere: every rank knows the full
+``p × p`` size matrix from the counts allgather, so gather parts and
+scatter slices are located by walking that matrix in deterministic
+(local-rank-major) order.
+
+Without a topology — or with everything on one node — there is no
+hierarchy to exploit and the exchange transparently falls back to the
+flat one-sided ring.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.collectives.compressed import CompressedOscAlltoallv, ExchangeStats
+from repro.errors import CommunicatorError, CompressionError, WireIntegrityError
+from repro.faults import ResilienceReport
+from repro.trace import incr as trace_incr
+from repro.trace import record_report as trace_report
+from repro.trace import span as trace_span
+
+__all__ = ["TwoLevelCompressedAlltoallv"]
+
+#: Tag bases for the three two-sided stages (control plane).  Offsets
+#: subtract a node or rank index, so the bases are spaced far enough
+#: apart that no realistic rank count can collide them.
+_TL_LOCAL = -7800
+_TL_GATHER = -8000
+_TL_INTER = -9000
+_TL_SCATTER = -10000
+
+
+class TwoLevelCompressedAlltoallv(CompressedOscAlltoallv):
+    """Compressed all-to-all with node-level message aggregation.
+
+    Accepts the same parameters as
+    :class:`~repro.collectives.compressed.CompressedOscAlltoallv`; the
+    ``topology`` argument is what activates the two-level schedule (a
+    single-node or topology-less setup falls back to the flat ring).
+    """
+
+    algorithm = "compressed-twolevel"
+
+    # -- helpers ------------------------------------------------------------------
+
+    def _send_leader(self, src_node: int, dst_node: int) -> int:
+        """Rank on ``src_node`` aggregating traffic bound for ``dst_node``."""
+        topo = self.topology
+        assert topo is not None
+        return topo.ranks_on_node(src_node)[dst_node % topo.ranks_per_node]
+
+    def _recv_leader(self, src_node: int, dst_node: int) -> int:
+        """Rank on ``dst_node`` receiving the aggregate from ``src_node``."""
+        topo = self.topology
+        assert topo is not None
+        return topo.ranks_on_node(dst_node)[src_node % topo.ranks_per_node]
+
+    def _concat(self, parts: list[np.ndarray], total: int) -> np.ndarray:
+        """Concatenate uint8 parts into one (possibly pooled) buffer."""
+        if total == 0:
+            return np.zeros(0, dtype=np.uint8)
+        buf = np.empty(total, dtype=np.uint8) if self.pool is None else self.pool.acquire(total)
+        off = 0
+        for part in parts:
+            n = int(part.size)
+            if n:
+                buf[off : off + n] = part
+                off += n
+        return buf
+
+    # -- the exchange --------------------------------------------------------------
+
+    def _exchange(self, send: Sequence[np.ndarray | None]) -> list[np.ndarray]:
+        topo = self.topology
+        if topo is None or topo.nnodes <= 1:
+            # Nothing to aggregate across — the flat one-sided ring is
+            # the same exchange with less plumbing.
+            return super()._exchange(send)
+        comm, p = self.comm, self.comm.size
+        if len(send) != p:
+            raise CommunicatorError(f"send list has {len(send)} entries for {p} ranks")
+        me = comm.rank
+        my_node = topo.node_of(me)
+        stats = ExchangeStats()
+        report = ResilienceReport(rank=me)
+
+        # Encode per destination exactly as the flat exchange does; each
+        # destination's frames are concatenated into one contiguous blob
+        # (the unit the gather/scatter stages route around).
+        arrays: list[np.ndarray | None] = []
+        blobs: list[np.ndarray] = []
+        blob_sizes = np.zeros(p, dtype=np.int64)
+        for dest in range(p):
+            data = send[dest]
+            if data is None or np.asarray(data).size == 0:
+                arrays.append(None)
+                blobs.append(np.zeros(0, dtype=np.uint8))
+                continue
+            arr = np.ascontiguousarray(data)
+            arrays.append(arr)
+            frames = self._encode_block(arr, dest, None, report, stats, self.pool)
+            if len(frames) == 1:
+                blob = frames[0]
+            else:
+                blob = self._concat(frames, int(sum(f.size for f in frames)))
+                if self.pool is not None:
+                    for frame in frames:
+                        self.pool.release(frame)
+            blobs.append(blob)
+            blob_sizes[dest] = blob.size
+
+        # Counts exchange: the p x p size matrix locates every gather
+        # part and scatter slice — no routing headers on the wire.
+        all_sizes = np.array(comm.allgather(blob_sizes.tolist()), dtype=np.int64)
+
+        # Stage 0: same-node destinations go direct (sends are eager).
+        for dest in topo.ranks_on_node(my_node):
+            if dest != me and blobs[dest].size:
+                with trace_span(
+                    "sendrecv", rank=me, peer=dest, bytes=int(blobs[dest].size),
+                    intra=True, stage="local",
+                ):
+                    comm.send(blobs[dest], dest, tag=_TL_LOCAL)
+
+        # Stage 1: gather — ship my remote-bound blocks to this node's
+        # send leader for each peer node (leader keeps its own part).
+        gathered_parts: dict[int, np.ndarray] = {}  # peer node -> my own stashed part
+        for m in range(topo.nnodes):
+            if m == my_node:
+                continue
+            dests = topo.ranks_on_node(m)
+            total = int(sum(blobs[d].size for d in dests))
+            part = self._concat([blobs[d] for d in dests], total)
+            leader = self._send_leader(my_node, m)
+            if leader == me:
+                gathered_parts[m] = part
+            elif total:
+                with trace_span(
+                    "sendrecv", rank=me, peer=leader, bytes=total,
+                    intra=True, stage="gather",
+                ):
+                    comm.send(part, leader, tag=_TL_GATHER - m)
+            if self.pool is not None and leader != me:
+                self.pool.release(part)
+
+        # The per-destination blobs are consumed (sends are buffered
+        # copies) except the self block, which is decoded later.
+        if self.pool is not None:
+            for dest in range(p):
+                if dest != me:
+                    self.pool.release(blobs[dest])
+
+        # Stage 2: inter-node — where I lead, collect my node's parts in
+        # local-rank order and send ONE aggregate per peer node.
+        for m in range(topo.nnodes):
+            if m == my_node or self._send_leader(my_node, m) != me:
+                continue
+            dests = topo.ranks_on_node(m)
+            parts: list[np.ndarray] = []
+            for r in topo.ranks_on_node(my_node):
+                expected = int(all_sizes[r, dests].sum())
+                if r == me:
+                    parts.append(gathered_parts.pop(m))
+                elif expected:
+                    parts.append(np.ascontiguousarray(comm.recv(r, tag=_TL_GATHER - m), dtype=np.uint8))
+            total = int(all_sizes[np.ix_(list(topo.ranks_on_node(my_node)), list(dests))].sum())
+            if total:
+                aggregate = self._concat(parts, total)
+                peer = self._recv_leader(my_node, m)
+                with trace_span(
+                    "sendrecv", rank=me, peer=peer, bytes=total,
+                    intra=False, stage="internode",
+                ):
+                    comm.send(aggregate, peer, tag=_TL_INTER - my_node)
+                trace_incr("internode_messages", 1, rank=me)
+                if self.pool is not None:
+                    self.pool.release(aggregate)
+            if self.pool is not None:
+                for part in parts:
+                    self.pool.release(part)
+
+        # Stage 3: scatter — where I receive a node's aggregate, slice it
+        # along the size matrix and forward each block to its rank.
+        stashed: dict[int, np.ndarray] = {}  # source rank -> my slice
+        my_dests = list(topo.ranks_on_node(my_node))
+        for k in range(topo.nnodes):
+            if k == my_node or self._recv_leader(k, my_node) != me:
+                continue
+            srcs = list(topo.ranks_on_node(k))
+            total = int(all_sizes[np.ix_(srcs, my_dests)].sum())
+            if total == 0:
+                continue
+            sender = self._send_leader(k, my_node)
+            aggregate = np.ascontiguousarray(comm.recv(sender, tag=_TL_INTER - k), dtype=np.uint8)
+            off = 0
+            for r in srcs:
+                for d in my_dests:
+                    size = int(all_sizes[r, d])
+                    block = aggregate[off : off + size]
+                    off += size
+                    if d == me:
+                        stashed[r] = block
+                    elif size:
+                        with trace_span(
+                            "sendrecv", rank=me, peer=d, bytes=size,
+                            intra=True, stage="scatter",
+                        ):
+                            comm.send(block, d, tag=_TL_SCATTER - r)
+
+        # Stage 4: collect my per-source regions and decode them with the
+        # flat exchange's CRC-checked walk.
+        recv: list[np.ndarray | None] = [None] * p
+        failed: list[int] = []
+        for s in range(p):
+            size = int(all_sizes[s, me])
+            if size == 0:
+                recv[s] = np.zeros(0, dtype=np.float64)
+                continue
+            if s == me:
+                region = blobs[me]
+            elif topo.same_node(s, me):
+                region = np.ascontiguousarray(comm.recv(s, tag=_TL_LOCAL), dtype=np.uint8)
+            elif self._recv_leader(topo.node_of(s), my_node) == me:
+                region = stashed[s]
+            else:
+                leader = self._recv_leader(topo.node_of(s), my_node)
+                region = np.ascontiguousarray(comm.recv(leader, tag=_TL_SCATTER - s), dtype=np.uint8)
+            try:
+                with trace_span("decompress", rank=me, peer=s, bytes=size):
+                    recv[s] = self._decode_region(region)
+            except CompressionError as exc:
+                report.record("integrity-failure", peer=s, detail=str(exc))
+                failed.append(s)
+        if self.pool is not None:
+            self.pool.release(blobs[me])
+
+        # Recovery is topology-agnostic (two-sided retransmissions under
+        # allgather-agreed failure sets) — reuse it verbatim.
+        if self._injector() is not None:
+            with trace_span("retry", rank=me, failed=len(failed)):
+                self._recover(arrays, recv, failed, report, stats)
+        elif failed:
+            raise WireIntegrityError(
+                f"rank {me}: corrupted block(s) from rank(s) {sorted(failed)} "
+                f"with no fault plan active"
+            )
+        self.last_stats = stats
+        self.last_report = report
+        trace_incr("messages", stats.sent_messages, rank=me)
+        trace_incr("logical_bytes", stats.original_bytes, rank=me)
+        trace_incr("wire_bytes", stats.wire_bytes, rank=me)
+        trace_report(report)
+        return recv  # type: ignore[return-value]

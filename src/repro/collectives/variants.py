@@ -22,6 +22,7 @@ import numpy as np
 from repro.conformance import hooks
 from repro.errors import CommunicatorError
 from repro.runtime.base import Comm
+from repro.utils.arrays import no_alias_copy
 
 __all__ = ["linear_alltoallv", "bruck_alltoall"]
 
@@ -53,8 +54,7 @@ def linear_alltoallv(
             comm.isend(empty if chunk is None else np.ascontiguousarray(chunk), dst, tag=_TAG_LINEAR)
         )
     out: list[np.ndarray] = [empty] * p
-    mine = send[comm.rank]
-    out[comm.rank] = (empty if mine is None else np.ascontiguousarray(mine)).copy()
+    out[comm.rank] = no_alias_copy(send[comm.rank])
     for src, req in recv_reqs.items():
         out[src] = req.wait()
     for req in send_reqs:

@@ -103,8 +103,13 @@ def _pack_meta(msg: CompressedMessage) -> bytes:
     )
 
 
-def encode_wire(msg: CompressedMessage) -> np.ndarray:
-    """Flatten a compressed message into a contiguous uint8 frame."""
+def encode_wire(msg: CompressedMessage, *, pool=None) -> np.ndarray:
+    """Flatten a compressed message into a contiguous uint8 frame.
+
+    ``pool`` (any object with a ``BufferPool``-style ``acquire``) stages
+    the frame in a reusable buffer instead of allocating — the exchange
+    hot path releases frames back once their puts have completed.
+    """
     meta = _pack_meta(msg)
     payload = msg.payload
     header = _HDR_STRUCT.pack(
@@ -117,7 +122,8 @@ def encode_wire(msg: CompressedMessage) -> np.ndarray:
         zlib.crc32(meta) & 0xFFFFFFFF,
         zlib.crc32(payload.tobytes()) & 0xFFFFFFFF,
     )
-    frame = np.empty(_HDR_BYTES + len(meta) + payload.size, dtype=np.uint8)
+    total = _HDR_BYTES + len(meta) + payload.size
+    frame = np.empty(total, dtype=np.uint8) if pool is None else pool.acquire(total)
     frame[:_HDR_BYTES] = np.frombuffer(header, dtype=np.uint8)
     frame[_HDR_BYTES : _HDR_BYTES + len(meta)] = np.frombuffer(meta, dtype=np.uint8)
     frame[_HDR_BYTES + len(meta) :] = payload
@@ -164,23 +170,29 @@ def frame_length(frame: np.ndarray | bytes) -> int:
     return _HDR_BYTES + meta_len + payload_len
 
 
-def decode_wire(frame: np.ndarray | bytes) -> CompressedMessage:
+def decode_wire(frame: np.ndarray | bytes) -> tuple[CompressedMessage, int]:
     """Re-inflate the frame starting at ``frame[0]`` (extra bytes ignored).
+
+    Returns ``(message, consumed)`` where ``consumed`` is the total byte
+    length of the frame just decoded — the offset of the next frame when
+    several land back-to-back in one window region.  Previously callers
+    re-parsed the header through :func:`frame_length` to advance; the
+    decode already knows the length, so it is returned instead.
 
     Raises :class:`WireIntegrityError` — a :class:`CompressionError`
     subclass — on any magic, version, truncation or checksum violation.
     """
     frame = _as_u8(frame)
     meta_len, payload_len, meta_crc, payload_crc = _parse_header(frame)
-    if frame.size < _HDR_BYTES + meta_len + payload_len:
+    consumed = _HDR_BYTES + meta_len + payload_len
+    if frame.size < consumed:
         raise WireIntegrityError(
-            f"wire frame truncated: need {_HDR_BYTES + meta_len + payload_len} B, "
-            f"have {frame.size} B"
+            f"wire frame truncated: need {consumed} B, have {frame.size} B"
         )
     meta_raw = frame[_HDR_BYTES : _HDR_BYTES + meta_len].tobytes()
     if zlib.crc32(meta_raw) & 0xFFFFFFFF != meta_crc:
         raise WireIntegrityError("metadata checksum mismatch (corrupted frame)")
-    payload = frame[_HDR_BYTES + meta_len : _HDR_BYTES + meta_len + payload_len].copy()
+    payload = frame[_HDR_BYTES + meta_len : consumed].copy()
     if zlib.crc32(payload.tobytes()) & 0xFFFFFFFF != payload_crc:
         raise WireIntegrityError("payload checksum mismatch (corrupted frame)")
     decoded = _safe_loads(meta_raw)
@@ -191,7 +203,7 @@ def decode_wire(frame: np.ndarray | bytes) -> CompressedMessage:
         raise WireIntegrityError("wire metadata has unexpected field types")
     if not isinstance(header, dict):
         raise WireIntegrityError("wire metadata header must be a dict")
-    return CompressedMessage(codec_name, payload, dtype_name, tuple(shape), header)
+    return CompressedMessage(codec_name, payload, dtype_name, tuple(shape), header), consumed
 
 
 def wire_overhead(msg: CompressedMessage) -> int:

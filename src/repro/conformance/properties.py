@@ -134,7 +134,16 @@ def _shrunk_matrix(sizes: list[list[int]], drop: int) -> list[list[int]]:
 # -- 1. alltoallv differential ----------------------------------------------------------
 
 #: All vector-exchange variants the differential property covers.
-ALLTOALLV_VARIANTS = ("reference", "linear", "pairwise", "pairwise-topo", "osc", "osc-verify", "compressed")
+ALLTOALLV_VARIANTS = (
+    "reference",
+    "linear",
+    "pairwise",
+    "pairwise-topo",
+    "osc",
+    "osc-verify",
+    "compressed",
+    "compressed-twolevel",
+)
 
 
 class AlltoallvProperty(Property):
@@ -143,7 +152,9 @@ class AlltoallvProperty(Property):
     def generate(self, rng: random.Random) -> Scenario:
         p = rng.choice([1, 2, 2, 3, 3, 4, 4, 5, 5, 6])
         dtype = rng.choice(["float64", "float64", "complex128", "uint8"])
-        variants = [v for v in ALLTOALLV_VARIANTS if dtype != "uint8" or v != "compressed"]
+        variants = [
+            v for v in ALLTOALLV_VARIANTS if dtype != "uint8" or not v.startswith("compressed")
+        ]
         return Scenario(
             self.name,
             {
@@ -158,7 +169,12 @@ class AlltoallvProperty(Property):
         )
 
     def check(self, sc: Scenario) -> None:
-        from repro.collectives import CompressedOscAlltoallv, osc_alltoallv, pairwise_alltoallv
+        from repro.collectives import (
+            CompressedOscAlltoallv,
+            TwoLevelCompressedAlltoallv,
+            osc_alltoallv,
+            pairwise_alltoallv,
+        )
         from repro.collectives.variants import linear_alltoallv
         from repro.compression.base import IdentityCodec
         from repro.runtime.thread_rt import ThreadWorld
@@ -183,7 +199,14 @@ class AlltoallvProperty(Property):
                 return osc_alltoallv(comm, row)
             if variant == "osc-verify":
                 return osc_alltoallv(comm, row, verify=True)
-            op = CompressedOscAlltoallv(comm, IdentityCodec(), pipeline_chunks=chunks)
+            if variant == "compressed-twolevel":
+                # gather -> one inter-node aggregate per peer node -> scatter;
+                # must be byte-equivalent to every flat variant.
+                op = TwoLevelCompressedAlltoallv(
+                    comm, IdentityCodec(), topology=topo, pipeline_chunks=chunks
+                )
+            else:
+                op = CompressedOscAlltoallv(comm, IdentityCodec(), pipeline_chunks=chunks)
             try:
                 return op(row)
             finally:
@@ -433,7 +456,11 @@ class CodecProperty(Property):
 
         # the checksummed wire frame must be a faithful envelope
         frame = encode_wire(msg)
-        decoded = decode_wire(frame)
+        decoded, consumed = decode_wire(frame)
+        if consumed != int(frame.size):
+            raise ConformanceFailure(
+                f"{codec.name}: decode consumed {consumed} B of a {frame.size} B frame"
+            )
         if (
             decoded.codec_name != msg.codec_name
             or decoded.dtype_name != msg.dtype_name

@@ -31,6 +31,7 @@ __all__ = [
     "UnsupportedFaultError",
     "CheckpointError",
     "AbftError",
+    "TuningError",
 ]
 
 
@@ -170,6 +171,10 @@ class CheckpointError(ReproError):
 
 class AbftError(ReproError):
     """An ABFT checksum disagreed beyond the configured tolerance."""
+
+
+class TuningError(ReproError):
+    """A tuning profile is malformed, stale, or names an unknown codec."""
 
 
 class ConformanceFailure(ReproError):

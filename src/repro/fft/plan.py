@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.collectives.compressed import CompressedOscAlltoallv
+from repro.collectives.twolevel import TwoLevelCompressedAlltoallv
 from repro.compression.base import Codec
 from repro.compression.selection import codec_for_tolerance, tolerance_of_codec
 from repro.errors import PlanError
@@ -40,6 +41,8 @@ from repro.machine.topology import Topology
 from repro.runtime.base import Comm
 from repro.runtime.virtual import VirtualWorld
 from repro.trace import span as trace_span
+from repro.tuning.pool import BufferPool
+from repro.tuning.profile import TuningEntry, TuningProfile
 
 __all__ = ["Fft3d", "FftStats"]
 
@@ -104,6 +107,15 @@ class Fft3d:
     topology:
         Optional machine topology (used for traffic classification and
         the node-aware ring in SPMD mode).
+    tuning:
+        Optional :class:`~repro.tuning.profile.TuningProfile` (or a path
+        to its JSON) from ``python -m repro tune``.  When it holds an
+        entry for this plan's ``(machine, nranks, shape)`` key, the SPMD
+        exchanges adopt the tuned ``pipeline_chunks`` and flat/two-level
+        variant — and, if no ``codec``/``e_tol``/``codec_schedule`` was
+        given explicitly, the tuned codec as well.  The key is stamped
+        on every exchange span so the perf gate can see which profile
+        drove a run.
     """
 
     def __init__(
@@ -117,11 +129,29 @@ class Fft3d:
         data_hint: str = "random",
         topology: Topology | None = None,
         codec_schedule=None,
+        tuning: TuningProfile | str | None = None,
     ) -> None:
         if len(shape) != 3 or any(n < 2 for n in shape):
             raise PlanError(f"shape must be 3 dims >= 2, got {shape}")
         if sum(x is not None for x in (codec, e_tol, codec_schedule)) > 1:
             raise PlanError("pass at most one of codec=, e_tol=, codec_schedule=")
+        self.tuned_key: str | None = None
+        self._tuned_entry: TuningEntry | None = None
+        if tuning is not None:
+            profile = TuningProfile.load(tuning) if isinstance(tuning, str) else tuning
+            machine = topology.machine.name if topology is not None else profile.machine
+            entry = profile.lookup(nranks, tuple(shape), machine=machine)
+            if entry is not None:
+                self._tuned_entry = entry
+                self.tuned_key = TuningProfile.key(machine, nranks, tuple(shape))
+                adopt_codec = (
+                    codec is None
+                    and e_tol is None
+                    and codec_schedule is None
+                    and precision.lower() == "fp64"
+                )
+                if adopt_codec:
+                    codec = entry.make_codec()
         if e_tol is not None:
             codec = codec_for_tolerance(e_tol, data_hint=data_hint)
         if codec_schedule is not None and len(codec_schedule) != 4:
@@ -258,17 +288,22 @@ class Fft3d:
         method: str = "osc",
         inverse: bool = False,
         stats: FftStats | None = None,
+        pool: BufferPool | None = None,
     ) -> np.ndarray:
         """Run this rank's part of the transform on a real communicator.
 
         ``local`` is the rank's brick block (see :meth:`scatter`); the
         return value is the rank's brick block of the transform.  With a
         codec configured, every reshape goes through the compressed OSC
-        all-to-all with a cached window per reshape plan.
+        all-to-all with a cached window per reshape plan; a loaded
+        tuning profile additionally selects the pipeline depth and the
+        flat vs. node-aware two-level exchange.
 
         Pass ``stats`` to collect this rank's accounting race-free: the
         plan object is shared across rank threads, so ``last_stats``
-        only reliably reflects the *last* rank to finish.
+        only reliably reflects the *last* rank to finish.  ``pool`` is
+        per-rank staging-buffer state (one :class:`BufferPool` per rank
+        thread) eliminating steady-state exchange allocations.
         """
         if comm.size != self.nranks:
             raise PlanError("communicator size does not match plan")
@@ -284,13 +319,24 @@ class Fft3d:
             inverse=inverse,
             method=method,
         ):
+            entry = self._tuned_entry
+            exchange_cls = (
+                TwoLevelCompressedAlltoallv
+                if entry is not None and entry.variant == "two-level"
+                else CompressedOscAlltoallv
+            )
             for step, plan in enumerate(self.reshapes):
                 rstats = ReshapeStats()
                 alltoall = None
                 stage_codec = self._stage_codec(step)
                 if stage_codec is not None:
-                    alltoall = CompressedOscAlltoallv(
-                        comm, stage_codec, topology=self.topology
+                    alltoall = exchange_cls(
+                        comm,
+                        stage_codec,
+                        topology=self.topology,
+                        pipeline_chunks=entry.pipeline_chunks if entry is not None else 1,
+                        pool=pool,
+                        tuned=self.tuned_key,
                     )
                 try:
                     block = plan.run_spmd(
@@ -300,6 +346,7 @@ class Fft3d:
                         topology=self.topology,
                         alltoall=alltoall,
                         stats=rstats,
+                        pool=pool,
                     )
                 finally:
                     if alltoall is not None:

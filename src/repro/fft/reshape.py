@@ -27,9 +27,12 @@ import numpy as np
 from repro.collectives.compressed import CompressedOscAlltoallv
 from repro.collectives.osc import osc_alltoallv
 from repro.collectives.pairwise import pairwise_alltoallv
+from repro.collectives.twolevel import TwoLevelCompressedAlltoallv
 from repro.compression.base import Codec
 from repro.errors import PlanError
 from repro.faults import ResilienceReport, RetryPolicy
+from repro.tuning.pool import BufferPool
+from repro.tuning.profile import VARIANTS
 from repro.trace import incr as trace_incr
 from repro.trace import span as trace_span
 from repro.fft.box import Box3d
@@ -134,12 +137,22 @@ class ReshapePlan:
 
     # -- pack / unpack -------------------------------------------------------------
 
-    def pack(self, rank: int, local: np.ndarray, dest: int, box: Box3d) -> np.ndarray:
+    def pack(
+        self,
+        rank: int,
+        local: np.ndarray,
+        dest: int,
+        box: Box3d,
+        *,
+        pool: BufferPool | None = None,
+    ) -> np.ndarray:
         """Extract the contiguous chunk rank ``rank`` owes ``dest``.
 
         ``local`` is the rank's block, optionally with a leading batch
         dimension (batched transforms ship all batch entries of a cell
-        in one message — heFFTe's batching).
+        in one message — heFFTe's batching).  With a ``pool`` the chunk
+        is staged in a reusable scratch buffer instead of a fresh
+        allocation (callers release it once the exchange consumed it).
         """
         sbox = self.src.box_of(rank)
         if local.shape[-3:] != sbox.shape:
@@ -147,7 +160,12 @@ class ReshapePlan:
                 f"rank {rank}: local array shape {local.shape} != inbox {sbox.shape}"
             )
         sl = box.slices_within(sbox)
-        return np.ascontiguousarray(local[..., sl[0], sl[1], sl[2]]).reshape(-1)
+        view = local[..., sl[0], sl[1], sl[2]]
+        if pool is None:
+            return np.ascontiguousarray(view).reshape(-1)
+        buf = pool.acquire_array(view.shape, view.dtype)
+        np.copyto(buf, view)
+        return buf.reshape(-1)
 
     def unpack(
         self, rank: int, out: np.ndarray, source: int, box: Box3d, chunk: np.ndarray
@@ -226,6 +244,10 @@ class ReshapePlan:
         stats: ReshapeStats | None = None,
         retry_policy: RetryPolicy | None = None,
         e_tol: float | None = None,
+        pool: BufferPool | None = None,
+        pipeline_chunks: int = 1,
+        variant: str = "flat",
+        tuned: str | None = None,
     ) -> np.ndarray:
         """Execute this rank's part of the reshape on a communicator.
 
@@ -239,9 +261,18 @@ class ReshapePlan:
         :class:`~repro.faults.ResilienceReport` is appended to
         ``stats.reports`` (per-rank state — the plan itself is shared
         across rank threads and stays stateless during execution).
+
+        ``pool`` stages pack scratch, wire frames and receive copies in
+        reusable buffers (zero steady-state allocations once warm);
+        ``pipeline_chunks``/``variant`` configure the compressed path
+        built from ``codec`` (``"flat"`` ring or node-aware
+        ``"two-level"`` aggregation), and ``tuned`` stamps the tuning
+        key that chose the configuration onto the exchange span.
         """
         if comm.size != self.nranks:
             raise PlanError("communicator size does not match plan")
+        if variant not in VARIANTS:
+            raise PlanError(f"unknown exchange variant {variant!r} (use one of {VARIANTS})")
         rank = comm.rank
         dtype = local.dtype
         batch = local.shape[:-3]
@@ -249,7 +280,7 @@ class ReshapePlan:
         send: list[np.ndarray | None] = [None] * self.nranks
         for d, box in self.pairs[rank]:
             with trace_span("pack", rank=rank, peer=d):
-                send[d] = self.pack(rank, local, d, box)
+                send[d] = self.pack(rank, local, d, box, pool=pool)
 
         report: ResilienceReport | None = None
         with trace_span("exchange", rank=rank, method=method, messages=len(self.pairs[rank])):
@@ -261,8 +292,18 @@ class ReshapePlan:
                     stats.logical_bytes += alltoall.last_stats.original_bytes
                     stats.wire_bytes += alltoall.last_stats.wire_bytes
             elif codec is not None:
-                op = CompressedOscAlltoallv(
-                    comm, codec, topology=topology, retry_policy=retry_policy, e_tol=e_tol
+                cls = (
+                    TwoLevelCompressedAlltoallv if variant == "two-level" else CompressedOscAlltoallv
+                )
+                op = cls(
+                    comm,
+                    codec,
+                    topology=topology,
+                    pipeline_chunks=pipeline_chunks,
+                    retry_policy=retry_policy,
+                    e_tol=e_tol,
+                    pool=pool,
+                    tuned=tuned,
                 )
                 try:
                     recv = op(send)
@@ -284,7 +325,7 @@ class ReshapePlan:
             elif method == "pairwise":
                 recv = pairwise_alltoallv(comm, send, topology=topology)
             elif method == "osc":
-                recv = osc_alltoallv(comm, send, topology=topology)
+                recv = osc_alltoallv(comm, send, topology=topology, pool=pool)
             else:
                 raise PlanError(f"unknown reshape method {method!r}")
 
@@ -293,6 +334,14 @@ class ReshapePlan:
             stats.retries += report.retries
             stats.degradations += report.degradations
 
+        # Every exchange path has consumed (copied or encoded) the packed
+        # send buffers by now; give them back before unpacking so the
+        # next reshape reuses them.
+        if pool is not None:
+            for buf in send:
+                if buf is not None:
+                    pool.release(buf)
+
         out = self._alloc_out(rank, dtype, batch)
         for s, box in self.incoming[rank]:
             chunk = np.asarray(recv[s])
@@ -300,4 +349,9 @@ class ReshapePlan:
                 chunk = chunk.view(np.uint8).view(dtype) if codec is None and alltoall is None else chunk.astype(dtype)
             with trace_span("unpack", rank=rank, peer=s):
                 self.unpack(rank, out, s, box, chunk)
+        if pool is not None:
+            for s, _ in self.incoming[rank]:
+                # Pooled receive copies (the OSC path) go back too; the
+                # lenient release ignores arrays the pool never owned.
+                pool.release(np.asarray(recv[s]))
         return out

@@ -111,7 +111,7 @@ class CheckpointStore:
         if frame is None:
             raise CheckpointError(f"no checkpoint under key {key!r}")
         try:
-            msg = decode_wire(frame)
+            msg, _ = decode_wire(frame)
         except WireIntegrityError as exc:
             raise CheckpointError(f"checkpoint {key!r} failed validation: {exc}") from exc
         try:

@@ -8,6 +8,7 @@ from typing import Any, Callable, Sequence
 import numpy as np
 
 from repro.errors import CommunicatorError
+from repro.utils.arrays import no_alias_copy
 
 __all__ = ["ANY_SOURCE", "ANY_TAG", "Request", "Comm"]
 
@@ -132,8 +133,7 @@ class Comm(ABC):
             chunk = send[dest]
             self.send(empty if chunk is None else np.ascontiguousarray(chunk), dest, tag=-103)
         out: list[np.ndarray] = [empty] * self.size
-        mine = send[self.rank]
-        out[self.rank] = (empty if mine is None else np.ascontiguousarray(mine)).copy()
+        out[self.rank] = no_alias_copy(send[self.rank])
         idx = 0
         for src in range(self.size):
             if src == self.rank:

@@ -84,6 +84,9 @@ COUNTER_KINDS = (
     "retries",  # recovery retries (from resilience reports)
     "degradations",  # codec ladder step-downs
     "retransmissions",  # blocks re-sent during recovery
+    "pool_hits",  # staging-buffer acquisitions served from the pool
+    "pool_misses",  # staging-buffer acquisitions that had to allocate
+    "internode_messages",  # aggregated NIC-crossing messages (two-level exchange)
 )
 
 

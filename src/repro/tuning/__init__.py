@@ -1,0 +1,28 @@
+"""Exchange tuning: staging-buffer pool, tuning profiles and the autotuner.
+
+Only the pool and the profile schema are imported eagerly — the
+collectives import :class:`BufferPool` while the autotuner imports the
+FFT planner (which imports the collectives), so pulling
+:mod:`repro.tuning.autotune` in here would close an import cycle.
+Import it explicitly::
+
+    from repro.tuning.autotune import tune
+"""
+
+from repro.tuning.pool import BufferPool
+from repro.tuning.profile import (
+    PROFILE_SCHEMA,
+    VARIANTS,
+    TuningEntry,
+    TuningProfile,
+    codec_from_name,
+)
+
+__all__ = [
+    "BufferPool",
+    "PROFILE_SCHEMA",
+    "VARIANTS",
+    "TuningEntry",
+    "TuningProfile",
+    "codec_from_name",
+]

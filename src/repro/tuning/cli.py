@@ -1,0 +1,76 @@
+"""``python -m repro tune`` — run the exchange sweep and persist a profile.
+
+Writes ``TUNING_<name>.json`` under ``--out``, then immediately reloads
+the file and checks that the payload round-trips bit-for-bit (schema
+validation included) — a malformed profile should fail in the tuning
+job, not in the first production run that loads it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.errors import TuningError
+from repro.tuning.profile import TuningProfile
+
+__all__ = ["run_tune_cli"]
+
+
+def run_tune_cli(
+    *,
+    n: int,
+    nranks: int,
+    machine: str,
+    repeats: int,
+    iters: int,
+    e_tol: float | None,
+    name: str,
+    out: str,
+    seed: int,
+    timeout: float = 120.0,
+) -> int:
+    # Imported here, not at module top: autotune pulls in the FFT layer
+    # (see the cycle note in repro.tuning.__init__).
+    from repro.tuning.autotune import tune
+
+    shape = (n, n, n)
+    profile, key, results = tune(
+        shape,
+        nranks,
+        machine=machine,
+        repeats=repeats,
+        iters=iters,
+        e_tol=e_tol,
+        seed=seed,
+        timeout=timeout,
+    )
+    path = os.path.join(out, f"TUNING_{name}.json")
+    profile.save(path)
+
+    # Round-trip check: the saved artefact must reload to the same payload.
+    reloaded = TuningProfile.load(path)
+    if reloaded.to_payload() != profile.to_payload():
+        raise TuningError(f"tuning profile {path} did not round-trip")
+
+    best = results[0]
+    lines = [
+        f"=== exchange autotune: {shape} on {nranks} ranks ({profile.machine}) ===",
+        f"swept {len(results)} candidates, {repeats} repeats x {iters} iters each",
+        "",
+        f"{'codec':<16} {'chunks':>6} {'variant':<10} {'median':>10}",
+    ]
+    for r in results:
+        marker = "  <-- winner" if r is best else ""
+        lines.append(
+            f"{r.candidate.codec:<16} {r.candidate.pipeline_chunks:>6} "
+            f"{r.candidate.variant:<10} {r.median_s * 1e3:>8.2f}ms{marker}"
+        )
+    lines += [
+        "",
+        f"profile key: {key}",
+        f"wrote {path} ({json.dumps(reloaded.entries[key].__dict__)})",
+        "round-trip: OK",
+    ]
+    print("\n".join(lines))
+    return 0

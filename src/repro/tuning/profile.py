@@ -1,0 +1,170 @@
+"""Versioned tuning profiles: the persisted output of the autotuner.
+
+A profile maps a ``(machine, rank count, geometry)`` key to the exchange
+configuration the measured sweep found fastest — codec, pipeline depth
+and flat-vs-two-level variant.  :class:`~repro.fft.plan.Fft3d` and
+:meth:`~repro.fft.reshape.ReshapePlan.run_spmd` load entries by key, and
+the chosen key is stamped on the exchange spans (attr ``tuned``) so the
+perf regression gate can attribute a trajectory change to a tuning
+change rather than a code change.
+
+The JSON schema is versioned (:data:`PROFILE_SCHEMA`); loading a file
+with a different schema string raises :class:`~repro.errors.TuningError`
+instead of silently misreading stale profiles.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from dataclasses import asdict, dataclass, field
+
+from repro.compression.base import Codec, IdentityCodec
+from repro.compression.lossless import ShuffleZlibCodec
+from repro.compression.mantissa import MantissaTrimCodec
+from repro.compression.truncation import CastCodec
+from repro.compression.zfp_like import ZfpLikeCodec
+from repro.errors import TuningError
+
+__all__ = ["PROFILE_SCHEMA", "VARIANTS", "TuningEntry", "TuningProfile", "codec_from_name"]
+
+PROFILE_SCHEMA = "repro-tuning-profile-v1"
+
+#: Exchange variants a profile may select.
+VARIANTS = ("flat", "two-level")
+
+
+def codec_from_name(name: str) -> Codec:
+    """Rebuild a codec from its :attr:`~repro.compression.base.Codec.name`.
+
+    Codec names are self-describing (``trim_m20``, ``cast_fp16_scaled``,
+    ``zlib1_shuffle``, ``zfp_tol1.0e-06`` …), so a profile only persists
+    the string and this inverts it.
+    """
+    if name == "identity":
+        return IdentityCodec()
+    m = re.fullmatch(r"zlib(\d)(_shuffle)?", name)
+    if m:
+        return ShuffleZlibCodec(level=int(m.group(1)), shuffle=bool(m.group(2)))
+    m = re.fullmatch(r"trim_m(\d+)", name)
+    if m:
+        return MantissaTrimCodec(int(m.group(1)))
+    m = re.fullmatch(r"cast_(fp16|fp32|bf16)(_scaled)?", name)
+    if m:
+        return CastCodec(m.group(1), scaled=bool(m.group(2)))
+    m = re.fullmatch(r"zfp_rate([0-9.]+)", name)
+    if m:
+        return ZfpLikeCodec(rate=float(m.group(1)))
+    m = re.fullmatch(r"zfp_tol([0-9.eE+-]+)", name)
+    if m:
+        return ZfpLikeCodec(tolerance=float(m.group(1)))
+    raise TuningError(f"tuning profile names unknown codec {name!r}")
+
+
+@dataclass(frozen=True)
+class TuningEntry:
+    """The winning exchange configuration for one profile key."""
+
+    codec: str  # codec name, invertible via codec_from_name()
+    pipeline_chunks: int
+    variant: str  # "flat" | "two-level"
+    measured_s: float  # median wall time of the winning candidate
+    swept: int = 0  # how many candidates the sweep compared
+
+    def __post_init__(self) -> None:
+        if self.variant not in VARIANTS:
+            raise TuningError(f"unknown exchange variant {self.variant!r}")
+        if self.pipeline_chunks < 1:
+            raise TuningError(f"pipeline_chunks must be >= 1, got {self.pipeline_chunks}")
+        codec_from_name(self.codec)  # validates eagerly
+
+    def make_codec(self) -> Codec:
+        return codec_from_name(self.codec)
+
+
+@dataclass
+class TuningProfile:
+    """A machine's tuning table: profile key → :class:`TuningEntry`."""
+
+    machine: str
+    entries: dict[str, TuningEntry] = field(default_factory=dict)
+    schema: str = PROFILE_SCHEMA
+
+    # -- keys ---------------------------------------------------------------------
+
+    @staticmethod
+    def key(machine: str, nranks: int, shape: tuple[int, ...]) -> str:
+        return f"{machine}/p{int(nranks)}/" + "x".join(str(int(n)) for n in shape)
+
+    def record(self, nranks: int, shape: tuple[int, ...], entry: TuningEntry) -> str:
+        """Store ``entry`` under this profile's machine; returns the key."""
+        k = self.key(self.machine, nranks, shape)
+        self.entries[k] = entry
+        return k
+
+    def lookup(
+        self, nranks: int, shape: tuple[int, ...], *, machine: str | None = None
+    ) -> TuningEntry | None:
+        """The entry for ``(machine, nranks, shape)``; ``None`` when absent.
+
+        ``machine`` defaults to the profile's own machine name — pass an
+        explicit name to require a match against a specific topology.
+        """
+        return self.entries.get(self.key(machine or self.machine, nranks, shape))
+
+    # -- (de)serialisation ---------------------------------------------------------
+
+    def to_payload(self) -> dict:
+        return {
+            "schema": self.schema,
+            "machine": self.machine,
+            "entries": {k: asdict(e) for k, e in sorted(self.entries.items())},
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "TuningProfile":
+        if not isinstance(payload, dict):
+            raise TuningError("tuning profile payload must be a JSON object")
+        schema = payload.get("schema")
+        if schema != PROFILE_SCHEMA:
+            raise TuningError(
+                f"tuning profile schema {schema!r} is not {PROFILE_SCHEMA!r} "
+                f"(stale or foreign file)"
+            )
+        machine = payload.get("machine")
+        if not isinstance(machine, str) or not machine:
+            raise TuningError("tuning profile is missing its machine name")
+        raw = payload.get("entries", {})
+        if not isinstance(raw, dict):
+            raise TuningError("tuning profile entries must be an object")
+        entries: dict[str, TuningEntry] = {}
+        for k, e in raw.items():
+            try:
+                entries[k] = TuningEntry(
+                    codec=e["codec"],
+                    pipeline_chunks=int(e["pipeline_chunks"]),
+                    variant=e["variant"],
+                    measured_s=float(e["measured_s"]),
+                    swept=int(e.get("swept", 0)),
+                )
+            except (KeyError, TypeError, ValueError) as exc:
+                raise TuningError(f"malformed tuning entry for key {k!r}: {exc}") from exc
+        return cls(machine=machine, entries=entries, schema=schema)
+
+    def save(self, path: str) -> None:
+        parent = os.path.dirname(path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_payload(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "TuningProfile":
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise TuningError(f"cannot read tuning profile {path}: {exc}") from exc
+        return cls.from_payload(payload)

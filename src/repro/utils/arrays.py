@@ -1,0 +1,27 @@
+"""Array helpers shared by the transports (no package-internal imports)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["no_alias_copy"]
+
+
+def no_alias_copy(data: np.ndarray | None) -> np.ndarray:
+    """A contiguous array equal to ``data`` that never aliases it.
+
+    The self-block of an all-to-all must be detached from the caller's
+    send buffer (MPI semantics: the send buffer is reusable the moment
+    the call returns).  ``np.ascontiguousarray(x).copy()`` does that but
+    copies *twice* when ``x`` is non-contiguous — ``ascontiguousarray``
+    already produced a fresh buffer, and ``.copy()`` duplicates it
+    again.  This helper copies exactly once either way.
+
+    ``None`` means "no data" and yields a fresh empty uint8 array.
+    """
+    if data is None:
+        return np.zeros(0, dtype=np.uint8)
+    out = np.ascontiguousarray(data)
+    if np.shares_memory(out, data):
+        out = out.copy()
+    return out

@@ -221,7 +221,8 @@ class TestWireFormat:
         codec = CastCodec("fp32")
         msg = codec.compress(random_complex)
         frame = encode_wire(msg)
-        back = decode_wire(frame)
+        back, consumed = decode_wire(frame)
+        assert consumed == frame.size
         assert back.codec_name == msg.codec_name
         assert back.shape == msg.shape and back.dtype_name == msg.dtype_name
         assert np.array_equal(back.payload, msg.payload)
@@ -233,8 +234,9 @@ class TestWireFormat:
         m2 = codec.compress(rng.random(20))
         stream = np.concatenate([encode_wire(m1), encode_wire(m2)])
         n1 = frame_length(stream)
-        first = decode_wire(stream)
-        second = decode_wire(stream[n1:])
+        first, consumed1 = decode_wire(stream)
+        assert consumed1 == n1  # decode reports the same length as the header walk
+        second, _ = decode_wire(stream[n1:])
         assert codec.decompress(first).size == 10
         assert codec.decompress(second).size == 20
 
@@ -248,6 +250,6 @@ class TestWireFormat:
     def test_header_scalars_survive(self):
         codec = CastCodec("fp16", scaled=True)
         msg = codec.compress(np.array([1e6, 1.0]))
-        back = decode_wire(encode_wire(msg))
+        back, _ = decode_wire(encode_wire(msg))
         assert back.header["scale"] == msg.header["scale"]
         assert np.isfinite(codec.decompress(back)).all()

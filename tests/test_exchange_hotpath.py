@@ -1,0 +1,162 @@
+"""Hot-path regressions: empty regions, single-parse frames, self-copy aliasing."""
+
+import numpy as np
+
+from repro.collectives import CompressedOscAlltoallv
+from repro.collectives.pairwise import pairwise_alltoallv
+from repro.collectives.variants import linear_alltoallv
+from repro.collectives.wire import decode_wire, encode_wire, frame_length
+from repro.compression.base import IdentityCodec
+from repro.runtime.thread_rt import ThreadWorld
+from repro.utils import no_alias_copy
+
+
+class TestDecodeRegionEmpty:
+    def test_empty_region_decodes_to_empty_fp64(self):
+        """Regression: np.concatenate([]) used to raise ValueError."""
+
+        def kernel(comm):
+            op = CompressedOscAlltoallv(comm, IdentityCodec())
+            try:
+                out = op._decode_region(np.zeros(0, dtype=np.uint8))
+                return out.size, str(out.dtype)
+            finally:
+                op.free()
+
+        [(size, dtype)] = ThreadWorld(1).run(kernel)
+        assert size == 0 and dtype == "float64"
+
+    def test_all_empty_exchange(self):
+        p = 3
+        send = [[np.zeros(0) for _ in range(p)] for _ in range(p)]
+
+        def kernel(comm):
+            op = CompressedOscAlltoallv(comm, IdentityCodec())
+            try:
+                return op(send[comm.rank])
+            finally:
+                op.free()
+
+        for recv in ThreadWorld(p).run(kernel):
+            assert all(b.size == 0 and b.dtype == np.float64 for b in recv)
+
+
+class TestSingleParseFrameWalk:
+    def test_decode_wire_reports_consumed_length(self):
+        msg = IdentityCodec().compress(np.arange(5.0))
+        frame = encode_wire(msg)
+        decoded, consumed = decode_wire(frame)
+        assert consumed == frame.size == frame_length(frame)
+        assert np.array_equal(decoded.payload.view(np.float64), np.arange(5.0))
+
+    def test_concatenated_stream_walks_without_reparsing(self):
+        codec = IdentityCodec()
+        frames = [encode_wire(codec.compress(np.full(n, float(n)))) for n in (1, 7, 3)]
+        stream = np.concatenate(frames)
+        pos, sizes = 0, []
+        while pos < stream.size:
+            msg, consumed = decode_wire(stream[pos:])
+            # consumed must agree with the header's own framing
+            assert consumed == frame_length(stream[pos:])
+            sizes.append(msg.n_values)
+            pos += consumed
+        assert pos == stream.size
+        assert sizes == [1, 7, 3]
+
+
+class TestOriginalBytesAccounting:
+    def _stats_for(self, send_blocks):
+        p = len(send_blocks)
+
+        def kernel(comm):
+            op = CompressedOscAlltoallv(comm, IdentityCodec())
+            try:
+                op(send_blocks[comm.rank])
+                return op.last_stats
+            finally:
+                op.free()
+
+        return ThreadWorld(p).run(kernel)
+
+    def test_float64_blocks(self):
+        rng = np.random.default_rng(0)
+        send = [[rng.standard_normal(6 + d) for d in range(2)] for _ in range(2)]
+        for rank, stats in enumerate(self._stats_for(send)):
+            assert stats.original_bytes == sum(b.nbytes for b in send[rank])
+
+    def test_complex128_blocks_count_both_components(self):
+        rng = np.random.default_rng(1)
+        send = [
+            [(rng.standard_normal(5) + 1j * rng.standard_normal(5)) for _ in range(2)]
+            for _ in range(2)
+        ]
+        for rank, stats in enumerate(self._stats_for(send)):
+            # 16 bytes per complex element == arr.nbytes, not 8
+            assert stats.original_bytes == sum(b.nbytes for b in send[rank])
+            assert stats.original_bytes == 2 * 5 * 16
+
+    def test_batched_blocks(self):
+        rng = np.random.default_rng(2)
+        send = [
+            [
+                (rng.standard_normal((3, 4)) + 1j * rng.standard_normal((3, 4)))
+                for _ in range(2)
+            ]
+            for _ in range(2)
+        ]
+        for rank, stats in enumerate(self._stats_for(send)):
+            assert stats.original_bytes == sum(b.nbytes for b in send[rank])
+
+
+class TestSelfBlockAliasing:
+    """Regression: the self block was copied twice; now exactly once, no aliasing."""
+
+    def test_no_alias_copy_contiguous_copies_once(self):
+        x = np.arange(8.0)
+        out = no_alias_copy(x)
+        assert np.array_equal(out, x)
+        assert not np.shares_memory(out, x)
+
+    def test_no_alias_copy_noncontiguous(self):
+        x = np.arange(16.0)[::2]
+        out = no_alias_copy(x)
+        assert out.flags["C_CONTIGUOUS"]
+        assert np.array_equal(out, x)
+        assert not np.shares_memory(out, x)
+
+    def test_no_alias_copy_none_is_empty(self):
+        out = no_alias_copy(None)
+        assert out.size == 0 and out.dtype == np.uint8
+
+    def _check_self_block(self, collective):
+        p = 3
+
+        def kernel(comm):
+            base = np.arange(float(p * 4)).reshape(p, 4)
+            contiguous = [base[d].copy() for d in range(p)]
+            strided = [np.arange(8.0)[::2] + d for d in range(p)]
+            results = []
+            for send in (contiguous, strided):
+                recv = collective(comm, send)
+                mine = recv[comm.rank]
+                aliased = np.shares_memory(mine, send[comm.rank])
+                send[comm.rank][...] = -1.0  # mutate after the exchange
+                results.append(
+                    (aliased, bool((mine >= 0).all()), mine.flags["C_CONTIGUOUS"])
+                )
+            return results
+
+        for per_rank in ThreadWorld(p).run(kernel):
+            for aliased, unaffected, contig in per_rank:
+                assert not aliased, "self block aliases the caller's send buffer"
+                assert unaffected, "mutating the send buffer changed the result"
+                assert contig
+
+    def test_pairwise_self_block(self):
+        self._check_self_block(lambda comm, send: pairwise_alltoallv(comm, send))
+
+    def test_linear_self_block(self):
+        self._check_self_block(lambda comm, send: linear_alltoallv(comm, send))
+
+    def test_reference_self_block(self):
+        self._check_self_block(lambda comm, send: comm.alltoallv(send))

@@ -218,7 +218,8 @@ class TestWireV2:
         frame = encode_wire(msg)
         assert bytes(frame[:4].tobytes()) == WIRE_MAGIC
         assert frame[4] == WIRE_VERSION
-        out = decode_wire(frame)
+        out, consumed = decode_wire(frame)
+        assert consumed == frame.size
         assert out.codec_name == msg.codec_name
         assert out.dtype_name == msg.dtype_name
         assert out.shape == msg.shape
@@ -333,7 +334,7 @@ class TestRestrictedUnpickler:
 
     def test_plain_metadata_still_decodes(self):
         msg = IdentityCodec().compress(np.arange(8, dtype=np.float64))
-        assert decode_wire(encode_wire(msg)).shape == (8,)
+        assert decode_wire(encode_wire(msg))[0].shape == (8,)
 
 
 # -- window lifecycle ------------------------------------------------------------------
