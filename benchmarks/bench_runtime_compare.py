@@ -1,0 +1,125 @@
+"""Proc-vs-thread wall-clock comparison on a compute-heavy SPMD kernel.
+
+The process runtime exists for exactly one reason: Python threads share
+a GIL, so per-rank compute (the FFT/compress phases between exchanges)
+serializes on ThreadWorld no matter how many cores the box has.  This
+bench runs the same GIL-bound kernel — a long loop of small FFTs, where
+interpreter overhead dominates and the GIL is contended — through both
+runtimes at 4 ranks and records the speedup to ``BENCH_pr8.json``.
+
+Run as a script (CI does)::
+
+    PYTHONPATH=src python benchmarks/bench_runtime_compare.py [out.json]
+
+or through pytest, where the correctness cross-check always runs and
+the speedup floor is asserted only on machines with enough cores for
+the comparison to mean anything.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+
+import numpy as np
+
+from repro.runtime import make_world
+
+NRANKS = 4
+REPEATS = 3
+ITERS = 8000  # big enough that fork/setup overhead is noise next to compute
+SPEEDUP_FLOOR = 1.3
+MIN_CORES = 4
+
+
+def compute_heavy_kernel(comm, iters: int = ITERS) -> float:
+    """Small-FFT loop (GIL-bound compute) capped by one real exchange."""
+    rng = np.random.default_rng(comm.rank)
+    x = rng.standard_normal(256)
+    for _ in range(iters):
+        y = np.fft.rfft(x)
+        x = np.fft.irfft(y * 0.999, n=x.size)
+    blocks = [np.full(64, float(x[0]) + d) for d in range(comm.size)]
+    got = comm.alltoallv(blocks)
+    return float(np.sum([b.sum() for b in got]))
+
+
+def time_runtime(runtime: str, *, iters: int = ITERS, repeats: int = REPEATS):
+    """(best wall-clock seconds, all times, one run's results)."""
+    times = []
+    results = None
+    for _ in range(repeats):
+        world = make_world(runtime, NRANKS, timeout=300.0)
+        t0 = time.perf_counter()
+        results = world.run(compute_heavy_kernel, iters)
+        times.append(time.perf_counter() - t0)
+    return min(times), times, results
+
+
+def compare(*, iters: int = ITERS, repeats: int = REPEATS) -> dict:
+    thread_best, thread_times, thread_res = time_runtime(
+        "thread", iters=iters, repeats=repeats
+    )
+    proc_best, proc_times, proc_res = time_runtime("proc", iters=iters, repeats=repeats)
+    assert np.allclose(thread_res, proc_res), "runtimes disagree on the kernel result"
+    return {
+        "bench": "runtime-compare",
+        "kernel": "small-fft-loop + alltoallv",
+        "nranks": NRANKS,
+        "iters": iters,
+        "repeats": repeats,
+        "cpu_count": os.cpu_count(),
+        "runtimes": {
+            "thread": {"best_s": thread_best, "times_s": thread_times},
+            "proc": {"best_s": proc_best, "times_s": proc_times},
+        },
+        "speedup_proc_over_thread": thread_best / proc_best,
+    }
+
+
+# -- pytest entry points ---------------------------------------------------------------
+
+
+def test_runtimes_agree_on_kernel_result():
+    """Correctness leg: always runs, even on one core."""
+    compare(iters=50, repeats=1)
+
+
+def test_proc_outruns_threads_on_compute():
+    """Perf leg: the whole point of the process runtime, asserted only
+    where the hardware can show it (a 1-core runner measures nothing
+    but fork overhead)."""
+    import pytest
+
+    if (os.cpu_count() or 1) < MIN_CORES:
+        pytest.skip(f"needs >= {MIN_CORES} cores to measure parallel speedup")
+    payload = compare()
+    assert payload["speedup_proc_over_thread"] >= SPEEDUP_FLOOR, (
+        f"proc runtime only {payload['speedup_proc_over_thread']:.2f}x over threads "
+        f"on {payload['cpu_count']} cores (floor {SPEEDUP_FLOOR}x): {payload}"
+    )
+
+
+def main(argv: list[str]) -> int:
+    out_path = argv[1] if len(argv) > 1 else "BENCH_pr8.json"
+    payload = compare()
+    with open(out_path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    speedup = payload["speedup_proc_over_thread"]
+    cores = payload["cpu_count"]
+    print(
+        f"runtime-compare: thread {payload['runtimes']['thread']['best_s']:.3f}s, "
+        f"proc {payload['runtimes']['proc']['best_s']:.3f}s "
+        f"-> {speedup:.2f}x on {cores} cores ({out_path})"
+    )
+    if (cores or 1) >= MIN_CORES and speedup < SPEEDUP_FLOOR:
+        print(f"FAIL: speedup {speedup:.2f}x below floor {SPEEDUP_FLOOR}x")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -101,6 +101,15 @@ def _add_common_flags(
     parser.add_argument("--seed", type=int, default=0, help="run seed (pins all randomness)")
 
 
+def _add_runtime_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--runtime",
+        choices=("thread", "proc"),
+        default="thread",
+        help="execution substrate: thread ranks (default) or one OS process per rank",
+    )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -126,6 +135,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="bounded-memory span histograms instead of retained spans",
     )
     _add_common_flags(trace_p)
+    _add_runtime_flag(trace_p)
     # legacy spelling, same destination
     trace_p.add_argument("--out-dir", dest="out", help=argparse.SUPPRESS)
 
@@ -169,6 +179,7 @@ def _build_parser() -> argparse.ArgumentParser:
     perf_p.add_argument("--case", default="alltoall", help="report workload: alltoall or fft")
     perf_p.add_argument("--ranks", type=int, default=4, help="report workload ranks")
     _add_common_flags(perf_p)
+    _add_runtime_flag(perf_p)
 
     tune_p = sub.add_parser(
         "tune", help="measured exchange sweep; writes a TUNING_<name>.json profile"
@@ -186,6 +197,7 @@ def _build_parser() -> argparse.ArgumentParser:
     tune_p.add_argument("--name", default="tune", help="TUNING_<name>.json artefact name")
     tune_p.add_argument("--timeout", type=float, default=120.0, help="per-measurement world deadline")
     _add_common_flags(tune_p)
+    _add_runtime_flag(tune_p)
 
     res_p = sub.add_parser(
         "resilience", help="rank-failure drill: kill/hang a rank mid-FFT and recover"
@@ -246,6 +258,7 @@ def main(argv: list[str] | None = None) -> int:
                 bench_name=args.bench_name,
                 seed=args.seed,
                 span_histograms=args.histograms,
+                runtime=args.runtime,
             )
         )
         return 0
@@ -265,6 +278,7 @@ def main(argv: list[str] | None = None) -> int:
             slowdown=args.slowdown,
             case=args.case,
             nranks=args.ranks,
+            runtime=args.runtime,
         )
 
     if args.command == "tune":
@@ -281,6 +295,7 @@ def main(argv: list[str] | None = None) -> int:
             out=args.out,
             seed=args.seed,
             timeout=args.timeout,
+            runtime=args.runtime,
         )
 
     if args.command == "resilience":

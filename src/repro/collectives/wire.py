@@ -93,6 +93,46 @@ def _safe_loads(raw: bytes):
         raise WireIntegrityError(f"wire metadata does not unpickle: {exc}") from exc
 
 
+#: Globals the *control-plane* unpickler may resolve.  ``Comm.bcast`` /
+#: ``gather`` move arbitrary-but-known payloads (plans, stats dicts,
+#: NumPy arrays and scalars), so this list is wider than the wire-frame
+#: metadata one — it adds the NumPy reconstruction entry points, under
+#: both the pre-2.0 (``numpy.core``) and 2.x (``numpy._core``) module
+#: paths so either side of a version skew can decode the other.
+_CONTROL_GLOBALS: dict[str, frozenset[str]] = {
+    "builtins": frozenset({"complex", "frozenset", "set", "bytearray"}),
+    "numpy": frozenset({"ndarray", "dtype"}),
+    "numpy.core.multiarray": frozenset({"_reconstruct", "scalar"}),
+    "numpy._core.multiarray": frozenset({"_reconstruct", "scalar"}),
+    "numpy.core.numeric": frozenset({"_frombuffer"}),
+    "numpy._core.numeric": frozenset({"_frombuffer"}),
+}
+
+
+class _ControlUnpickler(pickle.Unpickler):
+    def find_class(self, module: str, name: str):  # noqa: D102
+        if name in _CONTROL_GLOBALS.get(module, frozenset()):
+            return super().find_class(module, name)
+        raise WireIntegrityError(
+            f"control payload references disallowed global {module}.{name}"
+        )
+
+
+def control_loads(raw: bytes):
+    """Restricted unpickle for collective control payloads (bcast/gather).
+
+    Same defense as wire-frame metadata: a payload naming a global
+    outside the allow-list raises :class:`WireIntegrityError` instead
+    of importing and executing it.
+    """
+    try:
+        return _ControlUnpickler(io.BytesIO(raw)).load()
+    except WireIntegrityError:
+        raise
+    except Exception as exc:
+        raise WireIntegrityError(f"control payload does not unpickle: {exc}") from exc
+
+
 # -- encode ---------------------------------------------------------------------
 
 

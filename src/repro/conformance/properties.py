@@ -12,7 +12,7 @@ Each :class:`Property` bundles three pieces:
   for the greedy minimiser (fewer ranks, smaller sizes, one variant,
   simpler dtype).
 
-The seven families
+The eight families
 ------------------
 
 ``alltoallv``
@@ -46,6 +46,12 @@ The seven families
     Self-healing: under a seeded fault plan (bit-flips, transient codec
     faults, stragglers), a lossless-codec compressed exchange still
     delivers bit-exact data and audits the recovery.
+``runtime``
+    Differential across execution substrates: the same seeded compressed
+    exchange on the thread runtime and the process runtime must agree
+    bit-for-bit (both are deterministic given the data seed), and each
+    must agree with the bookkeeping oracle — exactly for lossless
+    codecs, within the codec tolerance for lossy ones.
 """
 
 from __future__ import annotations
@@ -897,6 +903,118 @@ class FaultsProperty(Property):
             )
 
 
+# -- 8. cross-runtime differential ------------------------------------------------------
+
+#: Codec names the runtime differential sweeps: no compression, the
+#: lossless fallback, and a genuinely lossy cast.
+RUNTIME_CODECS = ("identity", "zlib1_shuffle", "cast_fp32")
+
+
+class RuntimeProperty(Property):
+    """Proc-vs-thread equivalence of one seeded compressed exchange."""
+
+    name = "runtime"
+
+    def generate(self, rng: random.Random) -> Scenario:
+        p = rng.choice([1, 2, 2, 3, 3, 4, 5])
+        return Scenario(
+            self.name,
+            {
+                "nranks": p,
+                "sizes": draw_sizes_matrix(rng, p, max_items=32),
+                "dtype": "float64",
+                "codec": rng.choice(["identity", "identity", "zlib1_shuffle", "cast_fp32"]),
+                "runtimes": ["thread", "proc"],
+                "pipeline_chunks": rng.choice([1, 1, 2]),
+                "data_seed": draw_data_seed(rng),
+            },
+        )
+
+    def check(self, sc: Scenario) -> None:
+        from repro.collectives import CompressedOscAlltoallv
+        from repro.compression.selection import tolerance_of_codec
+        from repro.runtime import make_world
+        from repro.runtime.shm import fork_available
+        from repro.tuning.profile import codec_from_name
+
+        runtimes = [
+            r for r in sc.params["runtimes"] if r != "proc" or fork_available()
+        ]
+        if not runtimes:  # non-POSIX platform: nothing to differentiate
+            return
+        p = sc.params["nranks"]
+        send = make_send_matrix(sc.params["sizes"], sc.params["dtype"], sc.params["data_seed"])
+        want = expected_recv(send)
+        codec = codec_from_name(sc.params["codec"])
+        tol = tolerance_of_codec(codec)
+        chunks = sc.params["pipeline_chunks"]
+
+        def kernel(comm):
+            op = CompressedOscAlltoallv(comm, codec, pipeline_chunks=chunks)
+            try:
+                recv = op(send[comm.rank])
+            finally:
+                op.free()
+            return [np.asarray(b) for b in recv]
+
+        per_runtime: dict[str, list] = {}
+        for runtime in runtimes:
+            per_runtime[runtime] = make_world(runtime, p).run(kernel)
+
+        # Oracle check per runtime: exact when the codec is lossless,
+        # normwise within the codec tolerance (x slack) otherwise.
+        for runtime, results in per_runtime.items():
+            for d in range(p):
+                for s in range(p):
+                    got, ref = results[d][s], want[d][s]
+                    if tol == 0.0:
+                        assert_blocks_equal(
+                            got, ref, where=f"runtime={runtime}: rank {d} <- rank {s}"
+                        )
+                    else:
+                        err = relative_error(np.asarray(got), np.asarray(ref))
+                        if err > tol * TOLERANCE_SLACK:
+                            raise ConformanceFailure(
+                                f"runtime={runtime}: rank {d} <- rank {s} error "
+                                f"{err:.3e} exceeds {tol:.3e} x {TOLERANCE_SLACK}"
+                            )
+
+        # Cross-runtime check: the codec pipeline is deterministic, so
+        # thread and proc must agree to the byte even for lossy codecs.
+        if len(per_runtime) > 1:
+            base_name, *other_names = list(per_runtime)
+            base = per_runtime[base_name]
+            for other_name in other_names:
+                other = per_runtime[other_name]
+                for d in range(p):
+                    for s in range(p):
+                        assert_blocks_equal(
+                            other[d][s],
+                            base[d][s],
+                            where=(
+                                f"{other_name} vs {base_name}: rank {d} <- rank {s}"
+                            ),
+                        )
+
+    def shrink(self, sc: Scenario) -> Iterator[Scenario]:
+        p = sc.params["nranks"]
+        sizes = sc.params["sizes"]
+        # one runtime at a time (pins the failure to a substrate vs the oracle)
+        if len(sc.params["runtimes"]) > 1:
+            for r in sc.params["runtimes"]:
+                yield sc.with_params(runtimes=[r])
+        if p > 1:
+            for drop in range(p - 1, -1, -1):
+                yield sc.with_params(nranks=p - 1, sizes=_shrunk_matrix(sizes, drop))
+        if any(c > 1 for row in sizes for c in row):
+            yield sc.with_params(sizes=[[c // 2 for c in row] for row in sizes])
+            yield sc.with_params(sizes=[[min(c, 1) for c in row] for row in sizes])
+        if sc.params["codec"] != "identity":
+            yield sc.with_params(codec="identity")
+        if sc.params["pipeline_chunks"] != 1:
+            yield sc.with_params(pipeline_chunks=1)
+
+
 #: Registry, in the order cases are dealt round-robin.
 PROPERTIES: dict[str, Property] = {
     p.name: p
@@ -908,5 +1026,6 @@ PROPERTIES: dict[str, Property] = {
         ReshapeProperty(),
         TraceProperty(),
         FaultsProperty(),
+        RuntimeProperty(),
     )
 }

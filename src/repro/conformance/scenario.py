@@ -70,7 +70,17 @@ class Scenario:
     def describe(self) -> str:
         """One-line human summary for failure output."""
         bits = []
-        for key in ("nranks", "dtype", "shape", "variants", "codec", "e_tol", "mode", "method"):
+        for key in (
+            "nranks",
+            "dtype",
+            "shape",
+            "variants",
+            "codec",
+            "e_tol",
+            "mode",
+            "method",
+            "runtimes",
+        ):
             if key in self.params:
                 bits.append(f"{key}={self.params[key]}")
         suffix = f" [{', '.join(bits)}]" if bits else ""

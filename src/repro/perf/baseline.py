@@ -72,28 +72,28 @@ def _alltoall_kernel(op_call: Callable, seed: int):
     return kernel
 
 
-def _case_alltoall_osc(seed: int) -> None:
+def _case_alltoall_osc(seed: int, runtime: str = "thread") -> None:
     from repro.collectives.osc import osc_alltoallv
-    from repro.runtime.thread_rt import ThreadWorld
+    from repro.runtime import make_world
 
-    ThreadWorld(_SUITE_NRANKS).run(
+    make_world(runtime, _SUITE_NRANKS).run(
         _alltoall_kernel(lambda comm, send: osc_alltoallv(comm, send), seed)
     )
 
 
-def _case_alltoall_pairwise(seed: int) -> None:
+def _case_alltoall_pairwise(seed: int, runtime: str = "thread") -> None:
     from repro.collectives.pairwise import pairwise_alltoallv
-    from repro.runtime.thread_rt import ThreadWorld
+    from repro.runtime import make_world
 
-    ThreadWorld(_SUITE_NRANKS).run(
+    make_world(runtime, _SUITE_NRANKS).run(
         _alltoall_kernel(lambda comm, send: pairwise_alltoallv(comm, send), seed)
     )
 
 
-def _case_alltoall_compressed(seed: int) -> None:
+def _case_alltoall_compressed(seed: int, runtime: str = "thread") -> None:
     from repro.collectives.compressed import CompressedOscAlltoallv
     from repro.compression.selection import codec_for_tolerance
-    from repro.runtime.thread_rt import ThreadWorld
+    from repro.runtime import make_world
 
     codec = codec_for_tolerance(_SUITE_E_TOL)
 
@@ -104,25 +104,25 @@ def _case_alltoall_compressed(seed: int) -> None:
         finally:
             op.free()
 
-    ThreadWorld(_SUITE_NRANKS).run(_alltoall_kernel(call, seed))
+    make_world(runtime, _SUITE_NRANKS).run(_alltoall_kernel(call, seed))
 
 
-def _case_fft_compressed(seed: int) -> None:
+def _case_fft_compressed(seed: int, runtime: str = "thread") -> None:
     from repro.fft.plan import Fft3d
-    from repro.runtime.thread_rt import ThreadWorld
+    from repro.runtime import make_world
 
     n = _SUITE_FFT_N
     plan = Fft3d((n, n, n), _SUITE_NRANKS, e_tol=_SUITE_E_TOL)
     rng = np.random.default_rng(seed * 1013 + 7)
     x = rng.standard_normal((n, n, n)) + 1j * rng.standard_normal((n, n, n))
     locals_ = plan.scatter(x)
-    ThreadWorld(_SUITE_NRANKS).run(
+    make_world(runtime, _SUITE_NRANKS).run(
         lambda comm: plan.forward_spmd(comm, locals_[comm.rank])
     )
 
 
-#: The pinned suite: name -> runner(seed).  Order is the report order.
-SUITE_CASES: dict[str, Callable[[int], None]] = {
+#: The pinned suite: name -> runner(seed, runtime).  Order is the report order.
+SUITE_CASES: dict[str, Callable[..., None]] = {
     "alltoall-osc": _case_alltoall_osc,
     "alltoall-pairwise": _case_alltoall_pairwise,
     "alltoall-compressed-pipelined": _case_alltoall_compressed,
@@ -151,7 +151,11 @@ def _mad(values: list[float]) -> float:
 
 
 def run_suite(
-    *, repeats: int = DEFAULT_REPEATS, seed: int = 0, slowdown: float = 1.0
+    *,
+    repeats: int = DEFAULT_REPEATS,
+    seed: int = 0,
+    slowdown: float = 1.0,
+    runtime: str = "thread",
 ) -> dict[str, dict[str, Any]]:
     """Run every suite case ``repeats`` times; return per-case documents.
 
@@ -159,7 +163,9 @@ def run_suite(
     traced repeat collects span aggregates, counters and the overlap
     fraction for the payload.  ``slowdown`` (> 1) sleeps that multiple
     of each measured repeat — a test hook to simulate a regression
-    without changing the code under test.
+    without changing the code under test.  ``runtime`` selects the
+    execution substrate for every case (the committed gate baseline was
+    recorded on ``thread``; compare like against like).
     """
     from repro.perf.overlap import overlap_report
 
@@ -168,7 +174,7 @@ def run_suite(
         times: list[float] = []
         for rep in range(repeats):
             t0 = time.perf_counter()
-            runner(seed + rep)
+            runner(seed + rep, runtime)
             elapsed = time.perf_counter() - t0
             if slowdown > 1.0:
                 time.sleep(elapsed * (slowdown - 1.0))
@@ -177,7 +183,7 @@ def run_suite(
         tracer = Tracer()
         install(tracer)
         try:
-            runner(seed)
+            runner(seed, runtime)
         finally:
             uninstall()
         overlap = overlap_report(tracer)
@@ -197,7 +203,12 @@ def run_suite(
 
 
 def record_payload(
-    name: str, *, repeats: int = DEFAULT_REPEATS, seed: int = 0, slowdown: float = 1.0
+    name: str,
+    *,
+    repeats: int = DEFAULT_REPEATS,
+    seed: int = 0,
+    slowdown: float = 1.0,
+    runtime: str = "thread",
 ) -> dict[str, Any]:
     """Build the full ``BENCH_<name>.json`` document for one recording."""
     calib = calibration_s()
@@ -211,8 +222,9 @@ def record_payload(
         },
         "seed": seed,
         "repeats": repeats,
+        "runtime": runtime,
         "calibration_s": calib,
-        "cases": run_suite(repeats=repeats, seed=seed, slowdown=slowdown),
+        "cases": run_suite(repeats=repeats, seed=seed, slowdown=slowdown, runtime=runtime),
     }
 
 

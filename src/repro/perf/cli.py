@@ -50,12 +50,14 @@ def _report_topology(nranks: int):
     return Topology(laptop_spec(), nranks)
 
 
-def traced_report_case(case: str, *, nranks: int = 4, seed: int = 0):
+def traced_report_case(case: str, *, nranks: int = 4, seed: int = 0, runtime: str = "thread"):
     """Run one report workload under a fresh tracer; returns (tracer, topo).
 
     ``alltoall`` is a pipelined :class:`CompressedOscAlltoallv` with a
     node-aware topology (2 ranks per node, so intra- and inter-node
     links both appear); ``fft`` is a compressed 4-reshape ``Fft3d``.
+    ``runtime`` selects the execution substrate; the proc runtime's
+    per-rank spans arrive through trace spool merging.
     """
     if case not in REPORT_CASES:
         raise SystemExit(f"unknown perf report case {case!r}; pick one of {REPORT_CASES}")
@@ -66,7 +68,7 @@ def traced_report_case(case: str, *, nranks: int = 4, seed: int = 0):
         if case == "alltoall":
             from repro.collectives.compressed import CompressedOscAlltoallv
             from repro.compression.selection import codec_for_tolerance
-            from repro.runtime.thread_rt import ThreadWorld
+            from repro.runtime import make_world
 
             codec = codec_for_tolerance(1e-6)
 
@@ -81,26 +83,28 @@ def traced_report_case(case: str, *, nranks: int = 4, seed: int = 0):
                 finally:
                     op.free()
 
-            ThreadWorld(nranks).run(kernel)
+            make_world(runtime, nranks).run(kernel)
         else:
             from repro.fft.plan import Fft3d
-            from repro.runtime.thread_rt import ThreadWorld
+            from repro.runtime import make_world
 
             n = 12
             plan = Fft3d((n, n, n), nranks, e_tol=1e-6, topology=topo)
             rng = np.random.default_rng(seed * 991 + 3)
             x = rng.standard_normal((n, n, n)) + 1j * rng.standard_normal((n, n, n))
             locals_ = plan.scatter(x)
-            ThreadWorld(nranks).run(lambda comm: plan.forward_spmd(comm, locals_[comm.rank]))
+            make_world(runtime, nranks).run(
+                lambda comm: plan.forward_spmd(comm, locals_[comm.rank])
+            )
     finally:
         uninstall()
     return tracer, topo
 
 
-def _report_text(case: str, *, nranks: int, seed: int) -> str:
-    tracer, topo = traced_report_case(case, nranks=nranks, seed=seed)
+def _report_text(case: str, *, nranks: int, seed: int, runtime: str = "thread") -> str:
+    tracer, topo = traced_report_case(case, nranks=nranks, seed=seed, runtime=runtime)
     sections = [
-        f"=== perf report: {case}, {nranks} ranks, seed {seed} ===",
+        f"=== perf report: {case}, {nranks} ranks, seed {seed}, runtime {runtime} ===",
         "",
         format_critical_path(critical_path(tracer)),
     ]
@@ -128,18 +132,21 @@ def run_perf_cli(
     slowdown: float = 1.0,
     case: str = "alltoall",
     nranks: int = 4,
+    runtime: str = "thread",
     echo=print,
 ) -> int:
     """Drive one perf subcommand from parsed CLI options; returns exit status."""
     if command == "report":
-        echo(_report_text(case, nranks=nranks, seed=seed))
+        echo(_report_text(case, nranks=nranks, seed=seed, runtime=runtime))
         return 0
 
     if command == "record":
         os.makedirs(out, exist_ok=True)
-        payload = record_payload(name, repeats=repeats, seed=seed, slowdown=slowdown)
+        payload = record_payload(
+            name, repeats=repeats, seed=seed, slowdown=slowdown, runtime=runtime
+        )
         path = write_bench_json(os.path.join(out, f"BENCH_{name}.json"), payload)
-        echo(f"=== perf record: {name}, {repeats} repeats, seed {seed} ===")
+        echo(f"=== perf record: {name}, {repeats} repeats, seed {seed}, runtime {runtime} ===")
         echo(f"calibration: {payload['calibration_s'] * 1e3:.3f} ms")
         for cname, doc in payload["cases"].items():
             overlap = doc.get("overlap_fraction")
@@ -157,7 +164,9 @@ def run_perf_cli(
         with open(baseline, "r", encoding="utf-8") as fh:
             base_payload = json.load(fh)
         os.makedirs(out, exist_ok=True)
-        cur_payload = record_payload(name, repeats=repeats, seed=seed, slowdown=slowdown)
+        cur_payload = record_payload(
+            name, repeats=repeats, seed=seed, slowdown=slowdown, runtime=runtime
+        )
         write_bench_json(os.path.join(out, f"BENCH_{name}.json"), cur_payload)
         result = compare_payloads(
             cur_payload, base_payload, rel_tol=rel_tol, mad_mult=mad_mult

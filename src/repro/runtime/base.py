@@ -19,10 +19,23 @@ ANY_TAG = -1
 
 
 class Request:
-    """Handle for a non-blocking operation (mirrors ``MPI_Request``)."""
+    """Handle for a non-blocking operation (mirrors ``MPI_Request``).
 
-    def __init__(self, complete: Callable[[float | None], Any]) -> None:
+    ``probe`` is the runtime's non-blocking completion check: it must
+    return ``True`` once ``wait()`` would succeed without blocking, and
+    must never consume the matched message (so a ``test()``/``wait()``
+    sequence still yields the data).  Without a probe, ``test()`` only
+    reflects whether ``wait()`` already ran.
+    """
+
+    def __init__(
+        self,
+        complete: Callable[[float | None], Any],
+        *,
+        probe: Callable[[], bool] | None = None,
+    ) -> None:
         self._complete = complete
+        self._probe = probe
         self._done = False
         self._value: Any = None
 
@@ -36,7 +49,17 @@ class Request:
 
     def test(self) -> bool:
         """Non-blocking completion probe (does not consume the message)."""
-        return self._done
+        if self._done:
+            return True
+        return bool(self._probe()) if self._probe is not None else False
+
+    @classmethod
+    def completed(cls, value: Any = None) -> "Request":
+        """An already-finished request (e.g. an eagerly-buffered isend)."""
+        req = cls(lambda timeout: value)
+        req._done = True
+        req._value = value
+        return req
 
     @staticmethod
     def waitall(requests: Sequence["Request"], timeout: float | None = None) -> list[Any]:
@@ -162,6 +185,11 @@ def _pickle_dumps(obj: Any) -> bytes:
 
 
 def _pickle_loads(raw: bytes) -> Any:
-    import pickle
+    # Control-plane payloads (bcast/gather objects) cross a transport
+    # that other processes can write to, so they go through the same
+    # restricted unpickler as wire frame v2 — a crafted frame naming an
+    # unlisted global raises WireIntegrityError instead of executing.
+    # Imported lazily: collectives imports runtime types at module load.
+    from repro.collectives.wire import control_loads
 
-    return pickle.loads(raw)
+    return control_loads(raw)

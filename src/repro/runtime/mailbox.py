@@ -90,6 +90,20 @@ class Mailbox:
                 return env
         return None
 
+    def peek(self, source: int, tag: int) -> bool:
+        """Non-consuming probe: is a matching envelope queued right now?
+
+        Backs ``Request.test()`` — the envelope stays queued so a later
+        ``match`` (``wait``) still receives it.
+        """
+        with self._cond:
+            if self._aborted is not None:
+                self._raise_aborted()
+            return any(
+                (source == -1 or env.source == source) and (tag == -1 or env.tag == tag)
+                for env in self._queue
+            )
+
     def _raise_aborted(self) -> None:
         if self._abort_cause is not None:
             raise RuntimeAbort(self._aborted) from self._abort_cause

@@ -1,0 +1,598 @@
+"""Process-based SPMD runtime: every rank is a real OS process.
+
+The thread runtime (:mod:`repro.runtime.thread_rt`) shares one GIL, so
+local FFT/compress phases serialize and the profiler can never observe
+true compute/communication overlap.  :class:`ProcessWorld` runs each
+rank in a forked child and moves data through POSIX shared memory:
+
+* **point-to-point** — a pickle-free mailbox per rank: one
+  :class:`~repro.runtime.shm.ShmRing` segment each, fixed header
+  structs + raw payload bytes, NumPy views in and out.  The receiving
+  process drains its ring into a local pending queue and tag-matches
+  there, so MPI wildcard (``ANY_SOURCE``/``ANY_TAG``) and
+  non-overtaking semantics are identical to the thread runtime's
+  :class:`~repro.runtime.mailbox.Mailbox`.
+* **one-sided** — ``win_create`` maps the existing
+  :class:`~repro.runtime.window.Window` abstraction onto a single
+  collectively-created ``SharedMemory`` arena (deterministic name, one
+  creation, every rank attaches), so put/get/fence stay zero-copy
+  across processes.
+* **collectives** — inherited unchanged from the :class:`Comm` ABC;
+  ``bcast``/``gather`` object payloads ride the same ring transport.
+
+Ranks are forked, not spawned: kernels in this codebase are closures
+over NumPy arrays, which the ``spawn`` pickler cannot move, while fork
+inherits them for free (and inherits the world's fork-shared locks,
+which cannot be created after the fact).  Tracing survives the process
+boundary through spool files: each child installs a fresh
+:class:`~repro.trace.core.Tracer`, writes its events to a spool on
+exit, and the parent merges every spool back into the installed tracer
+(timestamps are CLOCK_MONOTONIC, machine-wide, so child spans land on
+the parent timeline).
+
+Teardown is leak-clean by construction: the parent unlinks every ring
+and control segment after the run, sweeps any uid-prefixed leftovers
+(spill segments of crashed receivers, unfreed window arenas), and
+reaps children through a join → terminate → kill ladder.  A child's
+exception is re-raised in the parent with ``.rank`` attached and the
+original traceback appended as a note.
+
+A :class:`ProcessWorld` is **one-shot**: ``run`` executes one SPMD
+kernel and then closes the world (segments unlinked).  The fault
+injector, heartbeat watchdog and ULFM recovery of the thread runtime
+are not supported here; passing a fault plan raises
+:class:`~repro.errors.UnsupportedFaultError`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import pickle
+import shutil
+import tempfile
+import time
+import traceback
+import weakref
+from collections import deque
+from multiprocessing.shared_memory import SharedMemory
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.errors import (
+    CommunicatorError,
+    RuntimeAbort,
+    StallError,
+    UnsupportedFaultError,
+)
+from repro.runtime.base import ANY_SOURCE, ANY_TAG, Comm, Request
+from repro.runtime.mailbox import WAIT_QUANTUM
+from repro.runtime.shm import (
+    DEFAULT_RING_CAPACITY,
+    ShmRecord,
+    ShmRing,
+    WorldControl,
+    any_to_describe,
+    fork_available,
+    make_uid,
+    quiet_close,
+    sweep_segments,
+)
+from repro.runtime.window import Window
+from repro.trace.core import Tracer
+from repro.trace.core import get_tracer as trace_get_tracer
+from repro.trace.core import install as trace_install
+
+__all__ = ["ProcessWorld", "ProcComm", "run_spmd_proc"]
+
+#: Default blocking-op timeout (same figure as the thread runtime).
+DEFAULT_TIMEOUT = 120.0
+
+
+def _cleanup_segments(owner_pid: int, rings: list[ShmRing], ctl: WorldControl, uid: str) -> None:
+    """Parent-side teardown; a no-op in forked children.
+
+    Registered as a GC finalizer too, and fork copies the finalizer
+    registry — the pid guard keeps an exiting child from unlinking
+    segments the parent is still using.
+    """
+    if os.getpid() != owner_pid:
+        return
+    for ring in rings:
+        ring.destroy()
+    ctl.destroy()
+    sweep_segments(uid)
+
+
+def _encode_error(rank: int, exc: BaseException) -> tuple:
+    """A pipe-safe error payload: the exception if picklable, else text."""
+    text = "".join(traceback.format_exception(type(exc), exc, exc.__traceback__))
+    try:
+        pickle.dumps(exc)
+    except Exception:  # noqa: BLE001 - anything unpicklable falls back to text
+        return ("err", rank, None, text)
+    return ("err", rank, exc, text)
+
+
+def _child_main(
+    world: "ProcessWorld",
+    rank: int,
+    conn,
+    fn: Callable[..., Any],
+    args: tuple,
+    kwargs: dict,
+    spool_dir: str | None,
+) -> None:
+    """Entry point of one forked rank."""
+    world._child_rank = rank
+    # The fork copied the parent's tracer *buffers*; events recorded
+    # here must go to a fresh tracer and travel home via the spool.
+    parent_tracer = trace_get_tracer()
+    child_tracer: Tracer | None = None
+    if parent_tracer is not None and parent_tracer.enabled and spool_dir is not None:
+        child_tracer = Tracer(span_histograms=parent_tracer.span_histograms_enabled)
+        trace_install(child_tracer)
+        child_tracer.bind_rank(rank)
+    else:
+        trace_install(None)
+    try:
+        comm = ProcComm(world, rank)
+        result = fn(comm, *args, **kwargs)
+        payload = ("ok", rank, result)
+    except BaseException as exc:  # noqa: BLE001 - must not hang peers
+        world._ctl.abort(f"rank {rank} raised {type(exc).__name__}: {exc}")
+        payload = _encode_error(rank, exc)
+    if child_tracer is not None:
+        try:
+            from repro.trace.export import write_spool
+
+            write_spool(child_tracer, os.path.join(spool_dir, f"rank{rank}.json"))
+        except Exception:  # noqa: BLE001 - tracing must never kill a rank
+            pass
+    try:
+        conn.send(payload)
+    except Exception:  # noqa: BLE001 - e.g. an unpicklable kernel return value
+        try:
+            conn.send(
+                ("err", rank, None, f"rank {rank}: kernel return value is not picklable")
+            )
+        except Exception:  # noqa: BLE001
+            pass
+    conn.close()
+
+
+class ProcessWorld:
+    """Shared state of one process-per-rank SPMD execution.
+
+    API-compatible with :class:`~repro.runtime.thread_rt.ThreadWorld`
+    where the algorithms need it (``run``, ``timeout``, ``halted``,
+    ``injector``, ``release_window``); fault injection and ULFM
+    recovery are thread-runtime-only.
+    """
+
+    def __init__(
+        self,
+        nranks: int,
+        *,
+        timeout: float = DEFAULT_TIMEOUT,
+        faults: Any = None,
+        ring_capacity: int = DEFAULT_RING_CAPACITY,
+    ) -> None:
+        if nranks < 1:
+            raise CommunicatorError(f"nranks must be >= 1, got {nranks}")
+        if faults is not None:
+            raise UnsupportedFaultError(
+                "ProcessWorld does not support fault injection; "
+                "run fault plans on ThreadWorld"
+            )
+        if not fork_available():
+            raise CommunicatorError(
+                "ProcessWorld requires the 'fork' start method (POSIX only)"
+            )
+        self.nranks = nranks
+        self.timeout = timeout
+        self.injector = None  # Window/put compatibility: never injects
+        self.uid = make_uid()
+        self._ctx = mp.get_context("fork")
+        self._ctl = WorldControl(f"{self.uid}c", nranks, self._ctx)
+        self.rings = [
+            ShmRing(f"{self.uid}r{r}", ring_capacity, self._ctx) for r in range(nranks)
+        ]
+        # One fork-shared lock per *target rank*, shared by every window
+        # (mp locks cannot be created after the fork, so they are
+        # provisioned here).  Coarser than the thread runtime's
+        # per-window locks; passive-target epochs on the same rank
+        # through two windows at once would self-deadlock — no algorithm
+        # in this codebase does that.
+        self._win_locks = [self._ctx.Lock() for _ in range(nranks)]
+        self._win_counter = 0
+        self._windows: dict[int, tuple[SharedMemory, bool]] = {}
+        self._child_rank: int | None = None
+        self._spawned = False
+        self._closed = False
+        #: Per-process scratch store (ThreadWorld API parity).  Not
+        #: shared across ranks here — resilience checkpointing that
+        #: relies on a world-shared store is thread-runtime-only.
+        self.store: dict[Any, Any] = {}
+        self.store_lock = self._ctx.Lock()
+        self._owner_pid = os.getpid()
+        self._finalizer = weakref.finalize(
+            self, _cleanup_segments, self._owner_pid, self.rings, self._ctl, self.uid
+        )
+
+    # -- abort / state -----------------------------------------------------------------
+
+    def abort(self, reason: str, cause: BaseException | None = None) -> None:
+        """Raise the world-wide abort flag; every blocked rank unwinds."""
+        self._ctl.abort(reason)
+
+    def abort_reason(self) -> str | None:
+        return self._ctl.abort_reason()
+
+    def check_abort(self) -> None:
+        self._ctl.check_abort()
+
+    @property
+    def halted(self) -> bool:
+        """True once the world is aborted (no new collectives can finish)."""
+        return self._ctl.abort_reason() is not None
+
+    # -- barrier -----------------------------------------------------------------------
+
+    def barrier_wait(self, rank: int | None = None, poll=None) -> None:
+        self._ctl.barrier(self.timeout, poll=poll)
+
+    # -- collective window creation ------------------------------------------------------
+
+    def create_window(self, comm: "ProcComm", nbytes: int) -> Window:
+        """Collective: one SharedMemory arena holds every rank's buffer.
+
+        The arena name is deterministic (``{uid}w{win_id}``, with the
+        per-process window counter advancing identically on every rank
+        because creation is collective), so no name exchange is needed:
+        rank 0 creates, a barrier publishes, everyone else attaches.
+        """
+        win_id = self._win_counter
+        self._win_counter += 1
+        sizes = comm.allgather(max(0, int(nbytes)))
+        offsets = np.concatenate(([0], np.cumsum(sizes))).astype(np.int64)
+        total = int(offsets[-1])
+        name = f"{self.uid}w{win_id}"
+        if comm.rank == 0:
+            shm = SharedMemory(name=name, create=True, size=max(1, total))
+            comm.barrier()
+        else:
+            comm.barrier()  # arena exists after this
+            shm = SharedMemory(name=name, create=False)
+        base = np.frombuffer(shm.buf, dtype=np.uint8, count=total)
+        buffers = [
+            base[int(offsets[r]) : int(offsets[r]) + sizes[r]] for r in range(self.nranks)
+        ]
+        self._windows[win_id] = (shm, comm.rank == 0)
+        comm.barrier()  # every rank attached before any put flies
+        return Window(self, comm, buffers, self._win_locks, win_id=win_id)
+
+    def release_window(self, win_id: int) -> None:
+        """Close this rank's arena mapping; the creating rank unlinks.
+
+        A kernel still holding views of the arena leaves the mapping
+        alive until the process exits (``quiet_close``); the unlink —
+        what leak-cleanliness needs — happens regardless.
+        """
+        entry = self._windows.pop(win_id, None)
+        if entry is None:
+            return
+        shm, creator = entry
+        quiet_close(shm)
+        if creator:
+            try:
+                shm.unlink()
+            except FileNotFoundError:
+                pass
+
+    # -- execution ---------------------------------------------------------------------
+
+    def run(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> list[Any]:
+        """Fork one process per rank, run ``fn(comm, ...)``, gather returns.
+
+        One-shot: the world's segments are unlinked when the run ends
+        (success or failure).  The first non-echo exception raised by
+        any rank is re-raised here with ``.rank`` attached and the
+        child's traceback appended as a note; a child that dies without
+        reporting (crash, signal) surfaces as a :class:`CommunicatorError`
+        naming its exit code.
+        """
+        if self._closed:
+            raise CommunicatorError("ProcessWorld is closed (run() is one-shot)")
+        if self._spawned:
+            raise CommunicatorError(
+                "ProcessWorld.run() already executed; create a fresh world"
+            )
+        if self._child_rank is not None:
+            raise CommunicatorError("run() called inside a rank process")
+        self._spawned = True
+        parent_tracer = trace_get_tracer()
+        spool_dir = None
+        if parent_tracer is not None and parent_tracer.enabled:
+            spool_dir = tempfile.mkdtemp(prefix="repro-spool-")
+        conns = []
+        procs = []
+        try:
+            for rank in range(self.nranks):
+                recv_end, send_end = self._ctx.Pipe(duplex=False)
+                proc = self._ctx.Process(
+                    target=_child_main,
+                    args=(self, rank, send_end, fn, args, kwargs, spool_dir),
+                    name=f"spmd-proc-rank-{rank}",
+                    daemon=True,
+                )
+                conns.append(recv_end)
+                procs.append((proc, send_end))
+            for proc, _ in procs:
+                proc.start()
+            for _, send_end in procs:
+                send_end.close()  # child holds the only writer now
+            payloads = self._collect([p for p, _ in procs], conns)
+        finally:
+            self._reap([p for p, _ in procs])
+            for conn in conns:
+                conn.close()
+            if spool_dir is not None:
+                try:
+                    self._merge_spools(parent_tracer, spool_dir)
+                finally:
+                    shutil.rmtree(spool_dir, ignore_errors=True)
+            self.close()
+        return self._interpret(payloads, [p for p, _ in procs])
+
+    def _collect(self, procs: list, conns: list) -> list[Any]:
+        """Read result pipes while children run (a child sending a large
+        result blocks in the pipe until the parent reads it — waiting
+        for join first would deadlock)."""
+        payloads: list[Any] = [None] * self.nranks
+        done = [False] * self.nranks
+        deadline = time.monotonic() + self.timeout * 2 + 5.0
+        abort_noted: set[int] = set()
+        while not all(done):
+            progressed = False
+            for rank, (proc, conn) in enumerate(zip(procs, conns)):
+                if done[rank]:
+                    continue
+                if conn.poll(0):
+                    try:
+                        payloads[rank] = conn.recv()
+                    except EOFError:
+                        pass
+                    done[rank] = True
+                    progressed = True
+                elif not proc.is_alive():
+                    # Late flush: the payload may have raced the exit.
+                    if conn.poll(0.05):
+                        continue
+                    done[rank] = True
+                    progressed = True
+                    if proc.exitcode not in (0, None) and rank not in abort_noted:
+                        abort_noted.add(rank)
+                        # Wake peers blocked on the corpse promptly.
+                        self._ctl.abort(
+                            f"rank {rank} process died with exit code {proc.exitcode}"
+                        )
+            if all(done):
+                break
+            if time.monotonic() >= deadline:
+                self._ctl.abort("parent join deadline exceeded")
+                break
+            if not progressed:
+                time.sleep(0.01)
+        return payloads
+
+    def _reap(self, procs: list) -> None:
+        """Join every child; escalate to terminate, then kill."""
+        for proc in procs:
+            proc.join(timeout=max(1.0, self.timeout * 0.5))
+        for proc in procs:
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=2.0)
+            if proc.is_alive():
+                proc.kill()
+                proc.join(timeout=2.0)
+
+    def _merge_spools(self, tracer, spool_dir: str) -> None:
+        from repro.trace.export import absorb_spool
+
+        if tracer is None:
+            return
+        for rank in range(self.nranks):
+            path = os.path.join(spool_dir, f"rank{rank}.json")
+            if os.path.exists(path):
+                try:
+                    absorb_spool(tracer, path)
+                except Exception:  # noqa: BLE001 - a torn spool must not mask results
+                    pass
+
+    def _interpret(self, payloads: list[Any], procs: list) -> list[Any]:
+        results: list[Any] = [None] * self.nranks
+        errors: list[tuple[int, BaseException, str]] = []
+        for rank, payload in enumerate(payloads):
+            if payload is None:
+                code = procs[rank].exitcode
+                exc = CommunicatorError(
+                    f"rank {rank} process exited (code {code}) without returning a result"
+                )
+                errors.append((rank, exc, ""))
+            elif payload[0] == "ok":
+                results[rank] = payload[2]
+            else:
+                _, rank_, exc, text = payload
+                if exc is None:
+                    exc = CommunicatorError(f"rank {rank_} failed:\n{text}")
+                errors.append((rank_, exc, text))
+        if errors:
+            # Surface the root cause, not whichever echo came from the
+            # lowest rank (same policy as ThreadWorld.run).
+            def is_echo(exc: BaseException) -> bool:
+                return isinstance(exc, RuntimeAbort) or (
+                    isinstance(exc, CommunicatorError) and "barrier broken" in str(exc)
+                )
+
+            originals = [e for e in errors if not is_echo(e[1])]
+            rank, exc, text = sorted(originals or errors, key=lambda e: e[0])[0]
+            exc.rank = rank  # type: ignore[attr-defined]
+            if text and hasattr(exc, "add_note"):
+                exc.add_note(f"raised on rank {rank} of ProcessWorld; child traceback:\n{text}")
+            raise exc
+        return results
+
+    # -- lifecycle ---------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Unlink every world segment (parent only; idempotent)."""
+        if self._closed or self._child_rank is not None:
+            return
+        self._closed = True
+        self._finalizer.detach()
+        _cleanup_segments(self._owner_pid, self.rings, self._ctl, self.uid)
+
+    def __enter__(self) -> "ProcessWorld":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+class ProcComm(Comm):
+    """Per-process communicator handle (lives only inside a rank)."""
+
+    def __init__(self, world: ProcessWorld, rank: int) -> None:
+        self.world = world
+        self.rank = rank
+        self.size = world.nranks
+        self._ring = world.rings[rank]
+        self._pending: deque[ShmRecord] = deque()
+
+    # -- transport preamble --------------------------------------------------------------
+
+    def _pre(self, op: str, peer: int | None = None) -> None:
+        self.world.check_abort()
+
+    def _progress(self) -> None:
+        """Drain this rank's own ring into the pending queue.
+
+        Runs inside every blocked wait (full-ring sends, barriers,
+        recv quanta): a rank blocked *sending* still consumes what
+        peers sent it, so mutual floods cannot deadlock, and aborts
+        surface within one quantum.
+        """
+        records = self._ring.drain()
+        if records:
+            self._pending.extend(records)
+        self.world.check_abort()
+
+    def _find_pending(self, source: int, tag: int) -> ShmRecord | None:
+        for i, rec in enumerate(self._pending):
+            if (source == ANY_SOURCE or rec.source == source) and (
+                tag == ANY_TAG or rec.tag == tag
+            ):
+                del self._pending[i]
+                return rec
+        return None
+
+    def _has_pending(self, source: int, tag: int) -> bool:
+        return any(
+            (source == ANY_SOURCE or rec.source == source)
+            and (tag == ANY_TAG or rec.tag == tag)
+            for rec in self._pending
+        )
+
+    # -- point to point ------------------------------------------------------------------
+
+    def send(self, data: np.ndarray, dest: int, tag: int = 0) -> None:
+        self._check_rank(dest)
+        self._pre("send", dest)
+        self.world.rings[dest].post(
+            self.rank,
+            tag,
+            np.asarray(data),
+            timeout=self.world.timeout,
+            poll=self._progress,
+        )
+
+    def _matched_recv(self, source: int, tag: int, timeout: float | None) -> np.ndarray:
+        limit = self.world.timeout if timeout is None else timeout
+        start = time.monotonic()
+        deadline = start + limit
+        while True:
+            self._progress()
+            rec = self._find_pending(source, tag)
+            if rec is not None:
+                return rec.payload
+            now = time.monotonic()
+            if now >= deadline:
+                raise StallError(
+                    f"rank {self.rank}: recv({any_to_describe(source, tag)}) "
+                    f"timed out after {now - start:.3f}s "
+                    f"(limit {limit}s) — peer dead, wedged, or deadlocked"
+                )
+            self._ring.wait(deadline - now, quantum=WAIT_QUANTUM)
+
+    def recv(
+        self,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        timeout: float | None = None,
+    ) -> np.ndarray:
+        if source != ANY_SOURCE:
+            self._check_rank(source)
+        self._pre("recv", None if source == ANY_SOURCE else source)
+        return self._matched_recv(source, tag, timeout)
+
+    def isend(self, data: np.ndarray, dest: int, tag: int = 0) -> Request:
+        self.send(data, dest, tag)  # eager buffered: complete on post
+        return Request.completed()
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
+        if source != ANY_SOURCE:
+            self._check_rank(source)
+        self._pre("irecv", None if source == ANY_SOURCE else source)
+
+        def complete(timeout: float | None) -> np.ndarray:
+            return self._matched_recv(source, tag, timeout)
+
+        def probe() -> bool:
+            # Non-consuming: drains the transport into pending (which a
+            # later wait() matches from), never removes a match.
+            self._progress()
+            return self._has_pending(source, tag)
+
+        return Request(complete, probe=probe)
+
+    # -- collectives ---------------------------------------------------------------------
+
+    def barrier(self) -> None:
+        self._pre("barrier")
+        self.world._ctl.barrier(self.world.timeout, poll=self._progress)
+
+    # -- one sided -----------------------------------------------------------------------
+
+    def win_create(self, nbytes: int) -> Window:
+        self._pre("win_create")
+        return self.world.create_window(self, nbytes)
+
+    # -- misc ----------------------------------------------------------------------------
+
+    def abort(self, msg: str = "user abort") -> None:
+        self.world._ctl.abort(f"rank {self.rank}: {msg}")
+        raise RuntimeAbort(msg)
+
+
+def run_spmd_proc(
+    nranks: int,
+    fn: Callable[..., Any],
+    *args: Any,
+    timeout: float = DEFAULT_TIMEOUT,
+    **kwargs: Any,
+) -> list[Any]:
+    """One-shot helper: build a :class:`ProcessWorld` and run ``fn`` on it."""
+    return ProcessWorld(nranks, timeout=timeout).run(fn, *args, **kwargs)

@@ -500,7 +500,7 @@ class ThreadComm(Comm):
 
     def isend(self, data: np.ndarray, dest: int, tag: int = 0) -> Request:
         self.send(data, dest, tag)  # eager buffered: completes on post
-        return Request(lambda timeout: None)
+        return Request.completed()
 
     def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
         if source != ANY_SOURCE:
@@ -514,7 +514,8 @@ class ThreadComm(Comm):
             # silently discarded both).
             return self._matched_recv(source, tag, timeout)
 
-        return Request(complete)
+        mailbox = self.world.mailboxes[self.rank]
+        return Request(complete, probe=lambda: mailbox.peek(source, tag))
 
     # -- collectives ------------------------------------------------------------------
 

@@ -234,12 +234,15 @@ class Window:
             # cleanup run without masking the original failure.
             self._comm.barrier()
         self._freed = True
+        # Views first, backing store second: on the process runtime the
+        # buffers are NumPy views of a SharedMemory arena, and the arena
+        # cannot close while exports are live.
+        self._buffers = []
+        self._locks = []
         if self._win_id is not None:
             release = getattr(self._world, "release_window", None)
             if release is not None:
                 release(self._win_id)
-        self._buffers = []
-        self._locks = []
 
     def _check_alive(self) -> None:
         if self._freed:

@@ -30,11 +30,13 @@ __all__ = ["run_trace_case", "TRACE_CASES"]
 TRACE_CASES = ("fft", "alltoall")
 
 
-def _traced_fft(nranks: int, n: int, e_tol: float, seed: int) -> tuple[int, int]:
-    """Forward 3-D FFT on the thread runtime; returns (wire, logical) bytes
+def _traced_fft(
+    nranks: int, n: int, e_tol: float, seed: int, runtime: str = "thread"
+) -> tuple[int, int]:
+    """Forward 3-D FFT on the chosen runtime; returns (wire, logical) bytes
     summed over every rank's :class:`~repro.fft.plan.FftStats`."""
     from repro.fft.plan import Fft3d, FftStats
-    from repro.runtime.thread_rt import ThreadWorld
+    from repro.runtime import make_world
 
     plan = Fft3d((n, n, n), nranks, e_tol=e_tol)
     rng = np.random.default_rng(2022 + seed)
@@ -46,18 +48,20 @@ def _traced_fft(nranks: int, n: int, e_tol: float, seed: int) -> tuple[int, int]
         plan.forward_spmd(comm, locals_[comm.rank], stats=stats)
         return stats
 
-    per_rank = ThreadWorld(nranks).run(kernel)
+    per_rank = make_world(runtime, nranks).run(kernel)
     return (
         sum(s.wire_bytes for s in per_rank),
         sum(s.logical_bytes for s in per_rank),
     )
 
 
-def _traced_alltoall(nranks: int, n: int, e_tol: float, seed: int) -> tuple[int, int]:
+def _traced_alltoall(
+    nranks: int, n: int, e_tol: float, seed: int, runtime: str = "thread"
+) -> tuple[int, int]:
     """One compressed OSC exchange; returns (wire, logical) byte totals."""
     from repro.collectives.compressed import CompressedOscAlltoallv
     from repro.compression.selection import codec_for_tolerance
-    from repro.runtime.thread_rt import ThreadWorld
+    from repro.runtime import make_world
 
     codec = codec_for_tolerance(e_tol)
     items = max(n, 2) ** 3 // nranks + 1
@@ -72,7 +76,7 @@ def _traced_alltoall(nranks: int, n: int, e_tol: float, seed: int) -> tuple[int,
             op.free()
         return op.last_stats
 
-    per_rank = ThreadWorld(nranks).run(kernel)
+    per_rank = make_world(runtime, nranks).run(kernel)
     return (
         sum(s.wire_bytes for s in per_rank),
         sum(s.original_bytes for s in per_rank),
@@ -89,6 +93,7 @@ def run_trace_case(
     bench_name: str | None = None,
     seed: int = 0,
     span_histograms: bool = False,
+    runtime: str = "thread",
 ) -> str:
     """Run one traced case and emit trace + bench artefacts.
 
@@ -106,7 +111,7 @@ def run_trace_case(
     install(tracer)
     try:
         runner = _traced_fft if case == "fft" else _traced_alltoall
-        stats_wire, stats_logical = runner(nranks, n, e_tol, seed)
+        stats_wire, stats_logical = runner(nranks, n, e_tol, seed, runtime)
     finally:
         uninstall()
 
@@ -128,6 +133,7 @@ def run_trace_case(
                 "e_tol": e_tol,
                 "seed": seed,
                 "span_histograms": span_histograms,
+                "runtime": runtime,
                 "stats_wire_bytes": stats_wire,
                 "stats_logical_bytes": stats_logical,
                 "counters_match_stats": consistent,
@@ -136,7 +142,8 @@ def run_trace_case(
     )
 
     lines = [
-        f"=== traced {case}: {nranks} ranks, n={n}, e_tol={e_tol:g} ===",
+        f"=== traced {case}: {nranks} ranks, n={n}, e_tol={e_tol:g}, "
+        f"runtime={runtime} ===",
         summarize(tracer),
         "",
         f"chrome trace: {trace_path}",

@@ -36,7 +36,7 @@ import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Iterator
+from typing import Any, Iterator, Sequence
 
 __all__ = [
     "SPAN_KINDS",
@@ -399,6 +399,38 @@ class Tracer:
             seen.update(r for r, _ in buf.counters)
             seen.update(r for r, _ in buf.histograms)
         return sorted(seen)
+
+    def absorb(
+        self,
+        *,
+        spans: Sequence[SpanEvent] = (),
+        instants: Sequence[InstantEvent] = (),
+        counters: dict[tuple[int, str], float] | None = None,
+        samples: Sequence[tuple[int, int, str, float]] = (),
+        histograms: dict[tuple[int, str], Any] | None = None,
+    ) -> None:
+        """Merge events recorded elsewhere into this tracer.
+
+        The process runtime uses this to fold each rank's spooled trace
+        back into the parent's tracer: spans/instants/samples append,
+        counters add, histograms merge.  Timestamps are assumed
+        comparable with this tracer's clock (true for
+        ``perf_counter_ns`` across processes on one Linux machine).
+        """
+        buf = self._buf()
+        buf.spans.extend(spans)
+        buf.instants.extend(instants)
+        if counters:
+            for key, value in counters.items():
+                buf.counters[key] = buf.counters.get(key, 0) + value
+        buf.samples.extend(samples)
+        if histograms:
+            for key, hist in histograms.items():
+                mine = buf.histograms.get(key)
+                if mine is None:
+                    buf.histograms[key] = hist
+                else:
+                    mine.merge(hist)
 
     def clear(self) -> None:
         """Drop all recorded events and counters (buffers stay bound)."""

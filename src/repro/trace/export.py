@@ -14,9 +14,18 @@ from typing import Any
 
 import numpy as np
 
-from repro.trace.core import Tracer
+from repro.trace.core import InstantEvent, SpanEvent, Tracer
 
-__all__ = ["chrome_trace", "write_chrome_trace", "summarize", "span_aggregates"]
+__all__ = [
+    "chrome_trace",
+    "write_chrome_trace",
+    "summarize",
+    "span_aggregates",
+    "spool_payload",
+    "write_spool",
+    "read_spool",
+    "absorb_spool",
+]
 
 
 def _jsonable(value: Any) -> Any:
@@ -157,6 +166,82 @@ def span_aggregates(tracer: Tracer) -> dict[str, dict[str, float]]:
             "max_s": float(arr.max()),
         }
     return out
+
+
+# -- cross-process spool files ---------------------------------------------------------
+#
+# The process runtime cannot share a Tracer across ranks (each rank is
+# a forked child with its own copy), so every rank serializes its
+# tracer to a JSON spool on exit and the parent absorbs all spools back
+# into the installed tracer.  perf_counter_ns is machine-wide monotonic
+# on Linux, so spooled timestamps land directly on the parent timeline.
+
+
+def spool_payload(tracer: Tracer) -> dict[str, Any]:
+    """JSON-safe dump of everything a tracer recorded."""
+    return {
+        "version": 1,
+        "spans": [
+            [s.kind, s.rank, s.t0_ns, s.t1_ns, s.depth, _args(s.attrs)]
+            for s in tracer.span_events()
+        ],
+        "instants": [
+            [i.kind, i.rank, i.ts_ns, _args(i.attrs)] for i in tracer.instant_events()
+        ],
+        # JSON keys must be strings; "rank:name" round-trips the tuple.
+        "counters": {f"{r}:{name}": v for (r, name), v in tracer.counters().items()},
+        "samples": [
+            [ts, rank, name, _jsonable(delta)]
+            for ts, rank, name, delta in tracer.counter_samples()
+        ],
+        "histograms": {
+            f"{r}:{kind}": hist.to_dict()
+            for (r, kind), hist in tracer.span_histograms().items()
+        },
+    }
+
+
+def write_spool(tracer: Tracer, path: str) -> str:
+    """Write a rank's spool file; returns the path."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(spool_payload(tracer), fh)
+    return path
+
+
+def read_spool(path: str) -> dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def _split_key(key: str) -> tuple[int, str]:
+    rank, _, name = key.partition(":")
+    return int(rank), name
+
+
+def absorb_spool(tracer: Tracer, path: str) -> None:
+    """Merge one rank's spool file into ``tracer`` (see ``Tracer.absorb``)."""
+    payload = read_spool(path)
+    histograms: dict[tuple[int, str], Any] = {}
+    if payload.get("histograms"):
+        from repro.perf.histogram import LogHistogram
+
+        histograms = {
+            _split_key(key): LogHistogram.from_dict(dump)
+            for key, dump in payload["histograms"].items()
+        }
+    tracer.absorb(
+        spans=[
+            SpanEvent(kind, rank, t0, t1, depth, attrs)
+            for kind, rank, t0, t1, depth, attrs in payload.get("spans", ())
+        ],
+        instants=[
+            InstantEvent(kind, rank, ts, attrs)
+            for kind, rank, ts, attrs in payload.get("instants", ())
+        ],
+        counters={_split_key(key): v for key, v in payload.get("counters", {}).items()},
+        samples=[tuple(s) for s in payload.get("samples", ())],
+        histograms=histograms,
+    )
 
 
 def summarize(tracer: Tracer) -> str:

@@ -39,7 +39,6 @@ from repro.fft.decomposition import brick_decomposition, pencil_decomposition
 from repro.fft.reshape import ReshapePlan
 from repro.machine.spec import MachineSpec, laptop_spec, summit_spec
 from repro.machine.topology import Topology
-from repro.runtime.thread_rt import ThreadWorld
 from repro.tuning.pool import BufferPool
 from repro.tuning.profile import TuningEntry, TuningProfile, codec_from_name
 
@@ -114,8 +113,11 @@ def _measure_candidate(
     repeats: int,
     seed: int,
     timeout: float,
+    runtime: str = "thread",
 ) -> SweepResult:
     """Median-over-repeats, max-over-ranks steady-state reshape time."""
+    from repro.runtime import make_world
+
     samples: list[float] = []
     for rep in range(repeats):
         def kernel(comm):
@@ -149,7 +151,7 @@ def _measure_candidate(
             finally:
                 op.free()
             return elapsed / iters
-        per_rank = ThreadWorld(nranks, timeout=timeout).run(kernel)
+        per_rank = make_world(runtime, nranks, timeout=timeout).run(kernel)
         samples.append(max(float(t) for t in per_rank))
     return SweepResult(cand, statistics.median(samples), samples)
 
@@ -167,6 +169,7 @@ def sweep(
     iters: int = 2,
     seed: int = 0,
     timeout: float = 120.0,
+    runtime: str = "thread",
 ) -> tuple[list[SweepResult], MachineSpec]:
     """Measure every candidate; returns (results sorted fastest-first, spec).
 
@@ -204,6 +207,7 @@ def sweep(
         _measure_candidate(
             cand, plan, topology, nranks,
             iters=iters, repeats=repeats, seed=seed, timeout=timeout,
+            runtime=runtime,
         )
         for cand in grid
     ]

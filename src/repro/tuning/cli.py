@@ -29,6 +29,7 @@ def run_tune_cli(
     out: str,
     seed: int,
     timeout: float = 120.0,
+    runtime: str = "thread",
 ) -> int:
     # Imported here, not at module top: autotune pulls in the FFT layer
     # (see the cycle note in repro.tuning.__init__).
@@ -44,6 +45,7 @@ def run_tune_cli(
         e_tol=e_tol,
         seed=seed,
         timeout=timeout,
+        runtime=runtime,
     )
     path = os.path.join(out, f"TUNING_{name}.json")
     profile.save(path)
@@ -55,7 +57,8 @@ def run_tune_cli(
 
     best = results[0]
     lines = [
-        f"=== exchange autotune: {shape} on {nranks} ranks ({profile.machine}) ===",
+        f"=== exchange autotune: {shape} on {nranks} ranks "
+        f"({profile.machine}, runtime {runtime}) ===",
         f"swept {len(results)} candidates, {repeats} repeats x {iters} iters each",
         "",
         f"{'codec':<16} {'chunks':>6} {'variant':<10} {'median':>10}",

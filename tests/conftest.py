@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import glob
+import multiprocessing as mp
+import os
 import random
 import zlib
 
@@ -9,6 +12,25 @@ import numpy as np
 import pytest
 
 from repro.machine.spec import MachineSpec, laptop_spec, summit_spec
+from repro.runtime.shm import SEG_PREFIX
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _no_runtime_leaks():
+    """The whole session must be leak-clean: every shared-memory segment
+    the process runtime created is unlinked and every forked child is
+    reaped by the time the last test finishes.  A leak here means some
+    world's teardown path (success *or* failure) lost a segment."""
+    pattern = f"/dev/shm/{SEG_PREFIX}*"
+    before = set(glob.glob(pattern)) if os.path.isdir("/dev/shm") else set()
+    yield
+    for child in mp.active_children():
+        child.join(timeout=10.0)
+    leaked_children = mp.active_children()
+    assert not leaked_children, f"zombie rank processes after session: {leaked_children}"
+    if os.path.isdir("/dev/shm"):
+        leaked = sorted(set(glob.glob(pattern)) - before)
+        assert not leaked, f"leaked shared-memory segments after session: {leaked}"
 
 
 @pytest.fixture(autouse=True)

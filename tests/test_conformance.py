@@ -219,3 +219,41 @@ def test_hooks_identity_when_uninstalled() -> None:
     assert hooks.active_mutations() == ()
     with pytest.raises(ValueError):
         hooks.install_mutation("not.a.point", lambda v, **k: v)
+
+
+# -- the runtime dimension: proc and thread must be indistinguishable -------------------
+
+
+def test_runtime_differential_25_seeded_scenarios() -> None:
+    """25 seeded scenarios through the runtime family: zero violations.
+
+    Every case runs the same compressed OSC exchange on the thread world
+    and (where fork exists) the process world, checks each against the
+    functional oracle, and then cross-compares the runtimes bit-for-bit.
+    The seed is pinned so the generated batch is reproducible — and so
+    the coverage assertions below (prime-sized blocks, all-empty
+    matrices) are facts about *this* batch, not probabilities.
+    """
+    report = run_conformance(seed=20260808, cases=25, properties=["runtime"])
+    assert report.ok, "\n".join(
+        f"{o.index}: {o.failure}\n  replay: {o.replay_command}" for o in report.failures
+    )
+    matrices = [o.scenario.params["sizes"] for o in report.outcomes]
+    flat = [n for m in matrices for row in m for n in row]
+    primes = {2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47}
+    assert any(all(n == 0 for row in m for n in row) for m in matrices), (
+        "seed batch lost its all-empty-matrix case; pick a new seed"
+    )
+    assert any(n in primes for n in flat), (
+        "seed batch lost its prime-geometry case; pick a new seed"
+    )
+    assert any(n == 0 for n in flat) and any(n > 0 for n in flat)
+
+
+def test_runtime_scenarios_name_their_runtime() -> None:
+    """Replay output must say which runtime a case exercised."""
+    rng = case_rng(20260808, 0)
+    sc = PROPERTIES["runtime"].generate(rng)
+    assert "runtimes" in sc.params
+    assert set(sc.params["runtimes"]) <= {"thread", "proc"}
+    assert "runtimes=" in sc.describe()

@@ -1,0 +1,536 @@
+"""Runtime-agnostic ``Comm`` contract, run against every backend.
+
+Every world that hands SPMD code a :class:`repro.runtime.base.Comm` must
+pass this suite unchanged: the thread runtime (ranks are threads), the
+process runtime (ranks are forked OS processes talking through shared
+memory), and — for the collectives it implements functionally — the
+virtual runtime.  The tests are written in *process-safe* style: ranks
+never mutate shared Python state, every ordering claim is enforced with
+a barrier or a message, and wall-clock assertions use the machine-wide
+monotonic clock.
+
+``test_runtime_thread.py`` / ``test_runtime_proc.py`` keep only the
+semantics unique to one backend (fault injection, shared-memory rings,
+child reaping); everything two backends must *agree* on lives here.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    CommunicatorError,
+    RuntimeAbort,
+    StallError,
+    WireIntegrityError,
+)
+from repro.runtime import ANY_SOURCE, ANY_TAG, Request, VirtualWorld, make_world
+from repro.runtime.shm import fork_available
+
+pytestmark = pytest.mark.filterwarnings("ignore::ResourceWarning")
+
+RUNTIMES_UNDER_TEST = [
+    "thread",
+    pytest.param(
+        "proc",
+        marks=pytest.mark.skipif(
+            not fork_available(), reason="process runtime needs the fork start method"
+        ),
+    ),
+]
+
+
+@pytest.fixture(params=RUNTIMES_UNDER_TEST)
+def runtime(request) -> str:
+    """The backend name under test; parametrizes every contract test."""
+    return request.param
+
+
+def spmd(runtime: str, nranks: int, fn, *, timeout: float = 60.0, **kwargs):
+    """Fresh world per call (the process world is one-shot)."""
+    return make_world(runtime, nranks, timeout=timeout, **kwargs).run(fn)
+
+
+# -- point to point ---------------------------------------------------------------
+
+
+class TestPointToPointContract:
+    def test_send_recv(self, runtime):
+        def kernel(comm):
+            if comm.rank == 0:
+                comm.send(np.arange(5.0), dest=1, tag=7)
+                return None
+            return comm.recv(source=0, tag=7)
+
+        res = spmd(runtime, 2, kernel)
+        assert np.array_equal(res[1], np.arange(5.0))
+
+    def test_send_is_buffered(self, runtime):
+        """Mutating the send buffer after send() must not affect receiver."""
+
+        def kernel(comm):
+            if comm.rank == 0:
+                buf = np.ones(4)
+                comm.send(buf, dest=1, tag=1)
+                buf[:] = -1.0
+                # Only now release the receiver: the mutation happened
+                # strictly before the recv, on every backend.
+                comm.send(np.zeros(0), dest=1, tag=2)
+                return None
+            comm.recv(source=0, tag=2)
+            return comm.recv(source=0, tag=1)
+
+        res = spmd(runtime, 2, kernel)
+        assert np.array_equal(res[1], np.ones(4))
+
+    def test_dtype_and_shape_preserved(self, runtime):
+        """Transport is typed: dtype and shape survive the wire."""
+
+        def kernel(comm):
+            if comm.rank == 0:
+                comm.send(np.arange(6, dtype=np.int32).reshape(2, 3), dest=1)
+                comm.send(np.array([1 + 2j, 3 - 4j], dtype=np.complex128), dest=1)
+                return None
+            a = comm.recv(source=0)
+            b = comm.recv(source=0)
+            return (a.dtype.str, a.shape, b.dtype.str, complex(b[1]))
+
+        res = spmd(runtime, 2, kernel)
+        assert res[1] == ("<i4", (2, 3), "<c16", (3 - 4j))
+
+    def test_tag_matching(self, runtime):
+        def kernel(comm):
+            if comm.rank == 0:
+                comm.send(np.array([1.0]), dest=1, tag=1)
+                comm.send(np.array([2.0]), dest=1, tag=2)
+                return None
+            b = comm.recv(source=0, tag=2)  # out of arrival order, by tag
+            a = comm.recv(source=0, tag=1)
+            return (float(a[0]), float(b[0]))
+
+        res = spmd(runtime, 2, kernel)
+        assert res[1] == (1.0, 2.0)
+
+    def test_non_overtaking_same_tag(self, runtime):
+        def kernel(comm):
+            if comm.rank == 0:
+                for k in range(10):
+                    comm.send(np.array([float(k)]), dest=1, tag=0)
+                return None
+            return [float(comm.recv(source=0, tag=0)[0]) for _ in range(10)]
+
+        res = spmd(runtime, 2, kernel)
+        assert res[1] == [float(k) for k in range(10)]
+
+    def test_any_source_any_tag(self, runtime):
+        def kernel(comm):
+            if comm.rank == 0:
+                got = [comm.recv(source=ANY_SOURCE, tag=ANY_TAG) for _ in range(comm.size - 1)]
+                return sorted(float(g[0]) for g in got)
+            comm.send(np.array([float(comm.rank)]), dest=0, tag=comm.rank)
+            return None
+
+        res = spmd(runtime, 4, kernel)
+        assert res[0] == [1.0, 2.0, 3.0]
+
+    def test_isend_irecv(self, runtime):
+        def kernel(comm):
+            peer = 1 - comm.rank
+            sreq = comm.isend(np.full(3, comm.rank), dest=peer)
+            rreq = comm.irecv(source=peer)
+            data = rreq.wait()
+            sreq.wait()
+            return float(data[0])
+
+        res = spmd(runtime, 2, kernel)
+        assert res == [1.0, 0.0]
+
+    def test_waitall(self, runtime):
+        def kernel(comm):
+            reqs = [comm.irecv(source=s) for s in range(comm.size) if s != comm.rank]
+            for d in range(comm.size):
+                if d != comm.rank:
+                    comm.send(np.array([float(comm.rank)]), dest=d)
+            vals = Request.waitall(reqs)
+            return sorted(float(v[0]) for v in vals)
+
+        res = spmd(runtime, 3, kernel)
+        assert res[0] == [1.0, 2.0]
+
+    def test_self_send_recv(self, runtime):
+        def kernel(comm):
+            comm.send(np.array([41.0 + comm.rank]), dest=comm.rank, tag=3)
+            return float(comm.recv(source=comm.rank, tag=3)[0])
+
+        res = spmd(runtime, 2, kernel)
+        assert res == [41.0, 42.0]
+
+    def test_invalid_rank_rejected(self, runtime):
+        def kernel(comm):
+            comm.send(np.zeros(1), dest=99)
+
+        with pytest.raises(CommunicatorError):
+            spmd(runtime, 2, kernel)
+
+    def test_recv_timeout_detects_deadlock(self, runtime):
+        def kernel(comm):
+            if comm.rank == 1:
+                comm.recv(source=0)  # never sent
+
+        with pytest.raises((CommunicatorError, RuntimeAbort)):
+            spmd(runtime, 2, kernel, timeout=0.4)
+
+    def test_recv_explicit_timeout_is_stall_error(self, runtime):
+        """A per-call deadline turns into a StallError on the calling rank."""
+
+        def kernel(comm):
+            if comm.rank == 1:
+                try:
+                    comm.recv(source=0, timeout=0.2)
+                except StallError:
+                    return "stalled"
+                return "no error"
+            time.sleep(0.5)  # never send; outlive the peer's deadline
+            return None
+
+        res = spmd(runtime, 2, kernel, timeout=30.0)
+        assert res[1] == "stalled"
+
+
+class TestRequestProbeContract:
+    """Regression: ``Request.test()`` is a real completion probe.
+
+    It must be False before the matching send exists, flip to True once
+    the peer's message arrives — *before* any ``wait()`` — and must not
+    consume the message (``wait()`` still returns the data).
+    """
+
+    def test_probe_flips_after_peer_sends(self, runtime):
+        def kernel(comm):
+            if comm.rank == 0:
+                req = comm.irecv(source=1, tag=5)
+                assert req.test() is False  # peer has not sent yet
+                comm.barrier()  # release the sender
+                deadline = time.monotonic() + 30.0
+                while not req.test():
+                    if time.monotonic() > deadline:
+                        raise AssertionError("test() never became true")
+                    time.sleep(0.002)
+                assert req.test() is True  # probing does not consume
+                return float(req.wait()[0])
+            comm.barrier()
+            comm.send(np.array([7.5]), dest=0, tag=5)
+            return None
+
+        res = spmd(runtime, 2, kernel)
+        assert res[0] == 7.5
+
+    def test_probe_respects_tag(self, runtime):
+        def kernel(comm):
+            if comm.rank == 0:
+                req = comm.irecv(source=1, tag=9)
+                comm.barrier()
+                comm.recv(source=1, tag=8)  # wrong-tag message has arrived
+                assert req.test() is False  # ...and must not satisfy tag 9
+                comm.barrier()  # release the tag-9 send
+                return float(req.wait()[0])
+            comm.barrier()
+            comm.send(np.array([1.0]), dest=0, tag=8)
+            comm.barrier()
+            comm.send(np.array([2.0]), dest=0, tag=9)
+            return None
+
+        res = spmd(runtime, 2, kernel)
+        assert res[0] == 2.0
+
+    def test_completed_isend_tests_true(self, runtime):
+        def kernel(comm):
+            peer = 1 - comm.rank
+            req = comm.isend(np.zeros(1), dest=peer)
+            ok = req.test()
+            comm.recv(source=peer)
+            return ok
+
+        res = spmd(runtime, 2, kernel)
+        assert res == [True, True]
+
+
+# -- collectives ------------------------------------------------------------------
+
+
+class TestCollectivesContract:
+    def test_barrier_orders_wallclock(self, runtime):
+        """No rank leaves the barrier before every rank has entered it.
+
+        Uses the machine-wide monotonic clock instead of a shared Python
+        list so the assertion is valid across processes too.
+        """
+
+        def kernel(comm):
+            if comm.rank == 0:
+                time.sleep(0.15)
+            entered = time.monotonic()
+            comm.barrier()
+            left = time.monotonic()
+            return (entered, left)
+
+        res = spmd(runtime, 3, kernel)
+        latest_entry = max(entered for entered, _ in res)
+        earliest_exit = min(left for _, left in res)
+        assert earliest_exit >= latest_entry
+
+    def test_bcast(self, runtime):
+        def kernel(comm):
+            data = {"x": 42, "arr": np.arange(3.0)} if comm.rank == 0 else None
+            got = comm.bcast(data, root=0)
+            return (got["x"], got["arr"].tolist())
+
+        res = spmd(runtime, 4, kernel)
+        assert all(r == (42, [0.0, 1.0, 2.0]) for r in res)
+
+    def test_bcast_nonzero_root(self, runtime):
+        def kernel(comm):
+            data = "payload" if comm.rank == 2 else None
+            return comm.bcast(data, root=2)
+
+        res = spmd(runtime, 3, kernel)
+        assert res == ["payload"] * 3
+
+    def test_gather(self, runtime):
+        def kernel(comm):
+            return comm.gather(comm.rank * 10, root=2)
+
+        res = spmd(runtime, 4, kernel)
+        assert res[2] == [0, 10, 20, 30]
+        assert res[0] is None
+
+    def test_allgather(self, runtime):
+        def kernel(comm):
+            return comm.allgather(comm.rank**2)
+
+        res = spmd(runtime, 4, kernel)
+        assert all(r == [0, 1, 4, 9] for r in res)
+
+    def test_alltoallv_reference(self, runtime):
+        def kernel(comm):
+            send = [np.full(d + 1, comm.rank * 100 + d, dtype=np.float64) for d in range(comm.size)]
+            recv = comm.alltoallv(send)
+            return [
+                (len(recv[s]), float(recv[s][0]) if len(recv[s]) else None)
+                for s in range(comm.size)
+            ]
+
+        res = spmd(runtime, 3, kernel)
+        for me, row in enumerate(res):
+            for s, (length, head) in enumerate(row):
+                assert length == me + 1
+                assert head == s * 100 + me
+
+    def test_alltoallv_none_entries(self, runtime):
+        def kernel(comm):
+            send = [None] * comm.size
+            send[(comm.rank + 1) % comm.size] = np.array([float(comm.rank)])
+            recv = comm.alltoallv(send)
+            src = (comm.rank - 1) % comm.size
+            return float(recv[src][0]), sum(len(r) for i, r in enumerate(recv) if i != src)
+
+        res = spmd(runtime, 4, kernel)
+        for me, (val, rest) in enumerate(res):
+            assert val == float((me - 1) % 4)
+            assert rest == 0
+
+    def test_alltoallv_all_empty(self, runtime):
+        def kernel(comm):
+            recv = comm.alltoallv([np.zeros(0)] * comm.size)
+            return [len(r) for r in recv]
+
+        res = spmd(runtime, 3, kernel)
+        assert all(row == [0, 0, 0] for row in res)
+
+    def test_alltoallv_wrong_length_rejected(self, runtime):
+        def kernel(comm):
+            comm.alltoallv([np.zeros(1)] * (comm.size + 1))
+
+        with pytest.raises(CommunicatorError):
+            spmd(runtime, 2, kernel)
+
+
+# -- one-sided windows -------------------------------------------------------------
+
+
+class TestWindowContract:
+    def test_put_fence_local_view(self, runtime):
+        def kernel(comm):
+            win = comm.win_create(8)
+            win.fence()
+            win.put(np.full(8, comm.rank + 1, dtype=np.uint8), (comm.rank + 1) % comm.size)
+            win.fence()
+            got = int(win.local_view()[0])
+            win.free()
+            return got
+
+        res = spmd(runtime, 4, kernel)
+        assert res == [4, 1, 2, 3]  # each rank sees its left neighbour's put
+
+    def test_get_remote(self, runtime):
+        def kernel(comm):
+            win = comm.win_create(4)
+            win.local_view()[:] = comm.rank * 10
+            win.fence()
+            peer = (comm.rank + 1) % comm.size
+            got = int(win.get(4, peer)[0])
+            win.fence()
+            win.free()
+            return got
+
+        res = spmd(runtime, 3, kernel)
+        assert res == [10, 20, 0]
+
+    def test_put_offset_and_bounds(self, runtime):
+        def kernel(comm):
+            win = comm.win_create(16)
+            win.fence()
+            if comm.rank == 0:
+                win.put(np.full(4, 9, dtype=np.uint8), 1, offset=12)
+            win.fence()
+            view = win.local_view().copy()
+            win.free()
+            return view.tolist()
+
+        res = spmd(runtime, 2, kernel)
+        assert res[1] == [0] * 12 + [9] * 4
+
+    def test_windows_are_independent(self, runtime):
+        """Two live windows must not alias each other's buffers."""
+
+        def kernel(comm):
+            a = comm.win_create(4)
+            b = comm.win_create(4)
+            a.fence()
+            b.fence()
+            if comm.rank == 0:
+                a.put(np.full(4, 1, dtype=np.uint8), 1)
+                b.put(np.full(4, 2, dtype=np.uint8), 1)
+            a.fence()
+            b.fence()
+            got = (int(a.local_view()[0]), int(b.local_view()[0]))
+            a.free()
+            b.free()
+            return got
+
+        res = spmd(runtime, 2, kernel)
+        assert res[1] == (1, 2)
+
+
+# -- error propagation --------------------------------------------------------------
+
+
+class TestErrorContract:
+    def test_exception_propagates_and_unblocks_peers(self, runtime):
+        def kernel(comm):
+            if comm.rank == 0:
+                raise ValueError("boom")
+            comm.recv(source=0)  # would deadlock without abort
+
+        with pytest.raises(ValueError, match="boom"):
+            spmd(runtime, 2, kernel, timeout=10.0)
+
+    def test_explicit_abort(self, runtime):
+        def kernel(comm):
+            if comm.rank == 1:
+                comm.abort("giving up")
+            comm.barrier()
+
+        with pytest.raises((RuntimeAbort, CommunicatorError)):
+            spmd(runtime, 2, kernel, timeout=10.0)
+
+    def test_world_rejects_zero_ranks(self, runtime):
+        with pytest.raises(CommunicatorError):
+            make_world(runtime, 0)
+
+    def test_results_in_rank_order(self, runtime):
+        res = spmd(runtime, 5, lambda comm: comm.rank * 2)
+        assert res == [0, 2, 4, 6, 8]
+
+
+# -- control-plane hardening ---------------------------------------------------------
+
+
+class _EvilPayload:
+    """Pickles to a call of a global outside the control-plane allow-list."""
+
+    def __reduce__(self):
+        import os
+
+        return (os.getcwd, ())
+
+
+class TestControlPlaneHardening:
+    """bcast/gather deserialize through the restricted unpickler.
+
+    A payload whose pickle stream names a global outside the allow-list
+    (here ``os.getcwd`` — harmless if it *were* executed, which is the
+    point of using it) must be rejected with
+    :class:`~repro.errors.WireIntegrityError` on the deserializing rank,
+    on every backend.
+    """
+
+    def test_malicious_bcast_rejected(self, runtime):
+        def kernel(comm):
+            payload = _EvilPayload() if comm.rank == 0 else None
+            comm.bcast(payload, root=0)
+
+        with pytest.raises(WireIntegrityError, match="disallowed global"):
+            spmd(runtime, 2, kernel, timeout=10.0)
+
+    def test_malicious_gather_rejected(self, runtime):
+        def kernel(comm):
+            comm.gather(_EvilPayload() if comm.rank == 1 else comm.rank, root=0)
+
+        with pytest.raises(WireIntegrityError, match="disallowed global"):
+            spmd(runtime, 2, kernel, timeout=10.0)
+
+    def test_benign_numpy_payload_allowed(self, runtime):
+        """The allow-list must still admit the payloads the library uses."""
+
+        def kernel(comm):
+            data = (
+                {"arr": np.arange(4.0), "scalar": np.float64(3.5), "set": {1, 2}}
+                if comm.rank == 0
+                else None
+            )
+            got = comm.bcast(data, root=0)
+            return (got["arr"].sum(), float(got["scalar"]), sorted(got["set"]))
+
+        res = spmd(runtime, 2, kernel)
+        assert all(r == (6.0, 3.5, [1, 2]) for r in res)
+
+
+# -- cross-runtime differential -------------------------------------------------------
+
+
+class TestCrossRuntimeDifferential:
+    """All backends (including the functional one) agree on alltoallv."""
+
+    def test_dense_alltoallv_three_ways(self, rng):
+        p = 4
+        send = [[rng.random(3 + (s + d) % 4) for d in range(p)] for s in range(p)]
+
+        def kernel(comm):
+            return [np.asarray(b) for b in comm.alltoallv(send[comm.rank])]
+
+        reference = VirtualWorld(p).alltoallv(send)
+        threaded = spmd("thread", p, kernel)
+        worlds = {"thread": threaded}
+        if fork_available():
+            worlds["proc"] = spmd("proc", p, kernel)
+        for name, got in worlds.items():
+            for d in range(p):
+                for s in range(p):
+                    assert np.array_equal(got[d][s], reference[d][s]), (
+                        f"{name} runtime disagrees with functional oracle at "
+                        f"dest={d} src={s}"
+                    )

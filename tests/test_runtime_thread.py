@@ -1,4 +1,12 @@
-"""Tests for the thread-based MPI-like runtime (p2p, collectives, abort)."""
+"""Thread-runtime-specific tests.
+
+The backend-agnostic ``Comm`` semantics (point-to-point, tag matching,
+collectives, windows, abort propagation) moved to
+``test_runtime_contract.py``, where they run against *every* runtime.
+What stays here is behaviour only the thread substrate promises: ranks
+share one address space, so closures over Python objects are visible
+across ranks, and a world object can be driven directly.
+"""
 
 from __future__ import annotations
 
@@ -7,114 +15,14 @@ import time
 import numpy as np
 import pytest
 
-from repro.errors import CommunicatorError, RuntimeAbort
-from repro.runtime import ANY_SOURCE, ANY_TAG, Request, ThreadWorld, run_spmd
+from repro.errors import CommunicatorError
+from repro.runtime import ThreadWorld, run_spmd
 
 
-class TestPointToPoint:
-    def test_send_recv(self):
-        def kernel(comm):
-            if comm.rank == 0:
-                comm.send(np.arange(5.0), dest=1, tag=7)
-                return None
-            return comm.recv(source=0, tag=7)
+class TestSharedAddressSpace:
+    """Threads (unlike processes) share Python objects across ranks."""
 
-        res = run_spmd(2, kernel)
-        assert np.array_equal(res[1], np.arange(5.0))
-
-    def test_send_is_buffered(self):
-        """Mutating the send buffer after send() must not affect receiver."""
-
-        def kernel(comm):
-            if comm.rank == 0:
-                buf = np.ones(4)
-                comm.send(buf, dest=1)
-                buf[:] = -1.0
-                return None
-            time.sleep(0.05)
-            return comm.recv(source=0)
-
-        res = run_spmd(2, kernel)
-        assert np.array_equal(res[1], np.ones(4))
-
-    def test_tag_matching(self):
-        def kernel(comm):
-            if comm.rank == 0:
-                comm.send(np.array([1.0]), dest=1, tag=1)
-                comm.send(np.array([2.0]), dest=1, tag=2)
-                return None
-            # receive out of order by tag
-            b = comm.recv(source=0, tag=2)
-            a = comm.recv(source=0, tag=1)
-            return a[0], b[0]
-
-        res = run_spmd(2, kernel)
-        assert res[1] == (1.0, 2.0)
-
-    def test_non_overtaking_same_tag(self):
-        def kernel(comm):
-            if comm.rank == 0:
-                for k in range(10):
-                    comm.send(np.array([float(k)]), dest=1, tag=0)
-                return None
-            return [comm.recv(source=0, tag=0)[0] for _ in range(10)]
-
-        res = run_spmd(2, kernel)
-        assert res[1] == [float(k) for k in range(10)]
-
-    def test_any_source_any_tag(self):
-        def kernel(comm):
-            if comm.rank == 0:
-                got = [comm.recv(source=ANY_SOURCE, tag=ANY_TAG) for _ in range(comm.size - 1)]
-                return sorted(float(g[0]) for g in got)
-            comm.send(np.array([float(comm.rank)]), dest=0, tag=comm.rank)
-            return None
-
-        res = run_spmd(4, kernel)
-        assert res[0] == [1.0, 2.0, 3.0]
-
-    def test_isend_irecv(self):
-        def kernel(comm):
-            peer = 1 - comm.rank
-            sreq = comm.isend(np.full(3, comm.rank), dest=peer)
-            rreq = comm.irecv(source=peer)
-            data = rreq.wait()
-            sreq.wait()
-            return float(data[0])
-
-        res = run_spmd(2, kernel)
-        assert res == [1.0, 0.0]
-
-    def test_waitall(self):
-        def kernel(comm):
-            reqs = [comm.irecv(source=s) for s in range(comm.size) if s != comm.rank]
-            for d in range(comm.size):
-                if d != comm.rank:
-                    comm.send(np.array([float(comm.rank)]), dest=d)
-            vals = Request.waitall(reqs)
-            return sorted(float(v[0]) for v in vals)
-
-        res = run_spmd(3, kernel)
-        assert res[0] == [1.0, 2.0]
-
-    def test_invalid_rank_rejected(self):
-        def kernel(comm):
-            comm.send(np.zeros(1), dest=99)
-
-        with pytest.raises(CommunicatorError):
-            run_spmd(2, kernel)
-
-    def test_recv_timeout_detects_deadlock(self):
-        def kernel(comm):
-            if comm.rank == 1:
-                comm.recv(source=0)  # never sent
-
-        with pytest.raises((CommunicatorError, RuntimeAbort)):
-            run_spmd(2, kernel, timeout=0.3)
-
-
-class TestCollectives:
-    def test_barrier(self):
+    def test_closure_mutation_visible_across_ranks(self):
         order = []
 
         def kernel(comm):
@@ -128,89 +36,33 @@ class TestCollectives:
         run_spmd(2, kernel)
         assert order == ["slow", "after"]
 
-    def test_bcast(self):
-        def kernel(comm):
-            data = {"x": 42} if comm.rank == 0 else None
-            return comm.bcast(data, root=0)
+    def test_send_does_not_alias_sender_buffer(self):
+        """Even in one address space, send() must deep-copy (buffered
+        semantics) — the receiver must never see the sender's later
+        mutation through an aliased array."""
 
-        res = run_spmd(4, kernel)
-        assert all(r == {"x": 42} for r in res)
-
-    def test_gather(self):
-        def kernel(comm):
-            return comm.gather(comm.rank * 10, root=2)
-
-        res = run_spmd(4, kernel)
-        assert res[2] == [0, 10, 20, 30]
-        assert res[0] is None
-
-    def test_allgather(self):
-        def kernel(comm):
-            return comm.allgather(comm.rank**2)
-
-        res = run_spmd(4, kernel)
-        assert all(r == [0, 1, 4, 9] for r in res)
-
-    def test_alltoallv_reference(self):
-        def kernel(comm):
-            send = [np.full(d + 1, comm.rank * 100 + d, dtype=np.float64) for d in range(comm.size)]
-            recv = comm.alltoallv(send)
-            # recv[s] came from rank s and has my rank's length + 1
-            return [
-                (len(recv[s]), float(recv[s][0]) if len(recv[s]) else None)
-                for s in range(comm.size)
-            ]
-
-        res = run_spmd(3, kernel)
-        for me, row in enumerate(res):
-            for s, (length, head) in enumerate(row):
-                assert length == me + 1
-                assert head == s * 100 + me
-
-    def test_alltoallv_none_entries(self):
-        def kernel(comm):
-            send = [None] * comm.size
-            send[(comm.rank + 1) % comm.size] = np.array([float(comm.rank)])
-            recv = comm.alltoallv(send)
-            src = (comm.rank - 1) % comm.size
-            return float(recv[src][0]), sum(len(r) for i, r in enumerate(recv) if i != src)
-
-        res = run_spmd(4, kernel)
-        for me, (val, rest) in enumerate(res):
-            assert val == float((me - 1) % 4)
-            assert rest == 0
-
-    def test_alltoallv_wrong_length_rejected(self):
-        def kernel(comm):
-            comm.alltoallv([np.zeros(1)] * (comm.size + 1))
-
-        with pytest.raises(CommunicatorError):
-            run_spmd(2, kernel)
-
-
-class TestErrorPropagation:
-    def test_exception_propagates_and_unblocks_peers(self):
         def kernel(comm):
             if comm.rank == 0:
-                raise ValueError("boom")
-            comm.recv(source=0)  # would deadlock without abort
+                buf = np.ones(4)
+                comm.send(buf, dest=1)
+                buf[:] = -1.0
+                return None
+            time.sleep(0.05)  # mutate-before-recv only works with threads
+            return comm.recv(source=0)
 
-        with pytest.raises((ValueError, RuntimeAbort, CommunicatorError)):
-            run_spmd(2, kernel, timeout=5.0)
+        res = run_spmd(2, kernel)
+        assert np.array_equal(res[1], np.ones(4))
 
-    def test_explicit_abort(self):
-        def kernel(comm):
-            if comm.rank == 1:
-                comm.abort("giving up")
-            comm.barrier()
 
-        with pytest.raises((RuntimeAbort, CommunicatorError)):
-            run_spmd(2, kernel, timeout=5.0)
-
+class TestWorldLifecycle:
     def test_world_rejects_zero_ranks(self):
         with pytest.raises(CommunicatorError):
             ThreadWorld(0)
 
-    def test_results_in_rank_order(self):
-        res = run_spmd(5, lambda comm: comm.rank * 2)
-        assert res == [0, 2, 4, 6, 8]
+    def test_world_is_reusable(self):
+        """A ThreadWorld (unlike a ProcessWorld) supports repeated runs."""
+        world = ThreadWorld(2, timeout=10.0)
+        first = world.run(lambda comm: comm.allgather(comm.rank))
+        second = world.run(lambda comm: comm.allgather(comm.rank + 10))
+        assert first == [[0, 1]] * 2
+        assert second == [[10, 11]] * 2

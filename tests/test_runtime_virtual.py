@@ -7,7 +7,7 @@ import pytest
 
 from repro.errors import CommunicatorError
 from repro.machine import SUMMIT, Topology
-from repro.runtime import VirtualWorld, run_spmd
+from repro.runtime import VirtualWorld
 
 
 class TestExchange:
@@ -41,22 +41,8 @@ class TestExchange:
 
 
 class TestDenseAlltoallv:
-    def test_matches_thread_reference(self, rng):
-        """The functional alltoallv must deliver exactly what the thread
-        runtime's reference alltoallv delivers."""
-        p = 4
-        send = [[rng.random(3 + (s + d) % 3) for d in range(p)] for s in range(p)]
-
-        w = VirtualWorld(p)
-        virtual = w.alltoallv(send)
-
-        def kernel(comm):
-            return comm.alltoallv(send[comm.rank])
-
-        threaded = run_spmd(p, kernel)
-        for d in range(p):
-            for s in range(p):
-                assert np.array_equal(virtual[d][s], threaded[d][s])
+    # The virtual-vs-thread(-vs-proc) alltoallv differential lives in
+    # test_runtime_contract.py::TestCrossRuntimeDifferential now.
 
     def test_none_entries(self):
         w = VirtualWorld(3)
