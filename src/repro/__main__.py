@@ -27,10 +27,17 @@ the exchange autotuner (see DESIGN.md §11):
 
     python -m repro tune --ranks 4 --n 16 --machine laptop
 
-and the rank-failure recovery drills (see DESIGN.md §10):
+the rank-failure recovery drills (see DESIGN.md §10):
 
     python -m repro resilience                   # kill + hang drills
     python -m repro resilience --kind hang --ranks 4 --n 16 --out out/
+
+and the telemetry layer (see DESIGN.md §13):
+
+    python -m repro monitor --list               # monitorable proc-worlds
+    python -m repro monitor --uid <uid>          # live per-rank dashboard
+    python -m repro blackbox dump.json           # pretty-print a crash dump
+    python -m repro blackbox --drill             # SIGKILL drill + post-mortem
 
 Every artefact-producing subcommand shares the same ``--out`` /
 ``--seed`` flags (one helper, not three copies).
@@ -226,6 +233,40 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_common_flags(res_p)
 
+    mon_p = sub.add_parser(
+        "monitor", help="live per-rank dashboard of a running proc-world (shared-memory tail)"
+    )
+    mon_p.add_argument(
+        "--uid", default=None, help="world uid to attach to (default: newest runfile)"
+    )
+    mon_p.add_argument(
+        "--interval", type=float, default=0.5, help="refresh period in seconds"
+    )
+    mon_p.add_argument("--once", action="store_true", help="render one frame and exit")
+    mon_p.add_argument(
+        "--duration", type=float, default=None, help="stop after this many seconds"
+    )
+    mon_p.add_argument(
+        "--list", action="store_true", dest="list_only", help="list monitorable runs and exit"
+    )
+
+    bb_p = sub.add_parser(
+        "blackbox", help="pretty-print a flight-recorder crash dump, or run the kill drill"
+    )
+    bb_p.add_argument("path", nargs="?", default=None, help="dump file to pretty-print")
+    bb_p.add_argument(
+        "--drill",
+        action="store_true",
+        help="SIGKILL a rank mid-FFT in a proc world and recover its ring post-mortem",
+    )
+    bb_p.add_argument("--ranks", type=int, default=4, help="drill: proc-world ranks")
+    bb_p.add_argument("--n", type=int, default=8, help="drill: grid edge (n^3 cells)")
+    bb_p.add_argument("--victim", type=int, default=1, help="drill: rank to SIGKILL")
+    bb_p.add_argument(
+        "--tail", type=int, default=12, help="events shown per rank when pretty-printing"
+    )
+    _add_common_flags(bb_p, out_help="drill artefact output directory")
+
     return parser
 
 
@@ -312,6 +353,31 @@ def main(argv: list[str] | None = None) -> int:
             timeout=args.timeout,
             suspect_after=args.suspect_after,
             out=args.out,
+        )
+
+    if args.command == "monitor":
+        from repro.telemetry.monitor_cli import run_monitor_cli
+
+        return run_monitor_cli(
+            uid=args.uid,
+            interval=args.interval,
+            once=args.once,
+            duration=args.duration,
+            list_only=args.list_only,
+        )
+
+    if args.command == "blackbox":
+        from repro.telemetry.monitor_cli import run_blackbox_cli
+
+        return run_blackbox_cli(
+            path=args.path,
+            drill=args.drill,
+            out=args.out,
+            nranks=args.ranks,
+            n=args.n,
+            victim=args.victim,
+            seed=args.seed,
+            tail=args.tail,
         )
 
     names = _EXPERIMENTS if args.command == "all" else (args.command,)

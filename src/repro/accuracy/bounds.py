@@ -80,8 +80,15 @@ def achieved_relative_error(original: np.ndarray, restored: np.ndarray) -> float
     (scaled casts, ZFP-like blocks) are held to the tolerance too.
     ``0/0 -> 0`` (an all-zero message is transported exactly).
     """
-    x = np.asarray(original, dtype=np.float64).reshape(-1)
-    y = np.asarray(restored, dtype=np.float64).reshape(-1)
+    x = np.asarray(original)
+    y = np.asarray(restored)
+    if np.iscomplexobj(x) or np.iscomplexobj(y):
+        # Complex payloads are measured on their real/imag components
+        # (same L-inf scale the codecs quantise on), not silently cast.
+        x = np.ascontiguousarray(x, dtype=np.complex128).view(np.float64)
+        y = np.ascontiguousarray(y, dtype=np.complex128).view(np.float64)
+    x = np.asarray(x, dtype=np.float64).reshape(-1)
+    y = np.asarray(y, dtype=np.float64).reshape(-1)
     if x.shape != y.shape:
         raise ModelError(f"shape mismatch: {x.shape} vs {y.shape}")
     denom = float(np.max(np.abs(x))) if x.size else 0.0

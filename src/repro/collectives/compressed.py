@@ -53,6 +53,15 @@ from repro.faults import ResilienceReport, RetryPolicy
 from repro.machine.topology import Topology
 from repro.runtime.base import Comm
 from repro.runtime.window import Window
+from repro.telemetry.metrics import counter as tele_counter
+from repro.telemetry.metrics import gauge as tele_gauge
+from repro.telemetry.metrics import histogram as tele_histogram
+from repro.telemetry.recorder import (
+    flight,
+    live_add,
+    live_add_many,
+    record_resilience_report,
+)
 from repro.tuning.pool import BufferPool
 from repro.trace import incr as trace_incr
 from repro.trace import record_report as trace_report
@@ -73,6 +82,11 @@ class ExchangeStats:
     wire_bytes: int = 0
     retransmissions: int = 0
     retransmitted_bytes: int = 0
+    #: Largest measured round-trip relative error of this exchange's
+    #: lossy messages (0.0 for lossless sends); only meaningful when
+    #: ``error_measured`` — i.e. the exchange ran with an ``e_tol``.
+    achieved_error: float = 0.0
+    error_measured: bool = False
 
     @property
     def achieved_rate(self) -> float:
@@ -156,6 +170,7 @@ class CompressedOscAlltoallv:
         self.last_report = ResilienceReport(rank=comm.rank)
         self._win: Window | None = None
         self._win_capacity = -1
+        self._round = 0
 
     # -- helpers ------------------------------------------------------------------
 
@@ -215,12 +230,17 @@ class CompressedOscAlltoallv:
 
     def _compress_fragment(
         self, frag: np.ndarray, dest: int, report: ResilienceReport
-    ) -> CompressedMessage:
+    ) -> tuple[CompressedMessage, float | None]:
         """Compress one fragment, riding out transient codec failures.
 
         Same-codec retries follow the policy's backoff; once exhausted
         the ladder steps down (the fallback is then also given
         ``max_attempts`` tries before the next step).
+
+        Returns the message plus the measured round-trip relative error
+        of the fragment: a float whenever ``e_tol`` is set (0.0 for a
+        lossless send — the round trip is exact), ``None`` when no
+        tolerance is configured and nothing was measured.
         """
         injector = self._injector()
         policy = self.retry_policy
@@ -264,15 +284,17 @@ class CompressedOscAlltoallv:
                 report.record("degrade", peer=dest, codec=ladder[step].name,
                               detail=f"{codec.name} -> {ladder[step].name} (transient failures)")
                 continue
+            achieved: float | None = None
             if self.e_tol is not None and not codec.lossless:
                 # Lazy import: repro.accuracy pulls in the FFT layer,
                 # which itself imports this module at load time.
                 from repro.accuracy.bounds import achieved_relative_error, tolerance_exceeded
 
-                exceeded = tolerance_exceeded(
-                    achieved_relative_error(frag, codec.decompress(msg)), self.e_tol
-                )
+                achieved = achieved_relative_error(frag, codec.decompress(msg))
+                exceeded = tolerance_exceeded(achieved, self.e_tol)
             else:
+                if self.e_tol is not None:
+                    achieved = 0.0  # lossless send: the round trip is exact
                 exceeded = False
             if exceeded:
                 report.record("tolerance-exceeded", peer=dest, codec=codec.name,
@@ -282,7 +304,7 @@ class CompressedOscAlltoallv:
                 report.record("degrade", peer=dest, codec=ladder[step].name,
                               detail=f"{codec.name} -> {ladder[step].name} (e_tol)")
                 continue
-            return msg
+            return msg, achieved
 
     def _encode_block(
         self,
@@ -311,13 +333,16 @@ class CompressedOscAlltoallv:
                 chunk=chunk_idx,
             ):
                 if codec is None:
-                    msg = self._compress_fragment(frag, dest, report)
+                    msg, achieved = self._compress_fragment(frag, dest, report)
                 else:
-                    msg = codec.compress(frag)
+                    msg, achieved = codec.compress(frag), None
             if stats is not None:
                 stats.sent_messages += 1
                 stats.original_bytes += 8 * msg.n_values
                 stats.wire_bytes += msg.nbytes
+                if achieved is not None:
+                    stats.achieved_error = max(stats.achieved_error, achieved)
+                    stats.error_measured = True
             frames.append(encode_wire(msg, pool=pool))
         return frames
 
@@ -453,8 +478,115 @@ class CompressedOscAlltoallv:
         )
         if self.tuned is not None:
             attrs["tuned"] = self.tuned
+        started = time.monotonic()
         with trace_span("exchange", **attrs):
-            return self._exchange(send)
+            recv = self._exchange(send)
+        self._observe_exchange_time(time.monotonic() - started)
+        return recv
+
+    @property
+    def _tele(self) -> dict[str, Any]:
+        """Metric handles for this op's rank, resolved once.
+
+        The registry's get-or-create does a sorted-tuple key build under
+        a lock per call; on the per-round hot path that lookup cost is
+        most of the telemetry overhead, so the handles are cached.
+        """
+        cached = self.__dict__.get("_tele_handles")
+        if cached is None:
+            rank = self.comm.rank
+            cached = {
+                "rounds": tele_counter("repro_exchange_rounds_total", rank=rank),
+                "wire": tele_counter("repro_wire_bytes_total", rank=rank),
+                "logical": tele_counter("repro_logical_bytes_total", rank=rank),
+                "retries": tele_counter("repro_retries_total", rank=rank),
+                "degradations": tele_counter("repro_degradations_total", rank=rank),
+                "ratio": tele_gauge("repro_compression_ratio", rank=rank),
+                "achieved": tele_gauge("repro_achieved_error", rank=rank),
+                "headroom": tele_gauge("repro_error_headroom", rank=rank),
+                "bandwidth": tele_gauge("repro_link_bandwidth_bytes_per_s", rank=rank),
+                "seconds": tele_histogram("repro_exchange_seconds", rank=rank),
+            }
+            self.__dict__["_tele_handles"] = cached
+        return cached
+
+    def _observe_exchange_time(self, elapsed: float) -> None:
+        """Per-link bandwidth gauge + latency histogram for the metrics
+        registry (the tracer records the same span; this survives runs
+        with no tracer installed)."""
+        tele = self._tele
+        tele["seconds"].observe(elapsed)
+        if elapsed > 0.0 and self.last_stats.wire_bytes:
+            tele["bandwidth"].set(self.last_stats.wire_bytes / elapsed)
+
+    def _finish_exchange(self, stats: ExchangeStats, report: ResilienceReport) -> None:
+        """Common exchange epilogue for the flat and two-level paths.
+
+        Publishes the round to every observability surface at once: the
+        opt-in tracer (counters + report), the always-on flight recorder
+        (ring events + live gauges) and the metrics registry.
+        """
+        comm = self.comm
+        self.last_stats = stats
+        self.last_report = report
+        trace_incr("messages", stats.sent_messages, rank=comm.rank)
+        trace_incr("logical_bytes", stats.original_bytes, rank=comm.rank)
+        trace_incr("wire_bytes", stats.wire_bytes, rank=comm.rank)
+        trace_report(report)
+
+        rank = comm.rank
+        round_no = self._round
+        self._round += 1
+        ratio = stats.achieved_rate
+        flight(
+            "exchange-round",
+            rank,
+            round_=round_no,
+            value=float(stats.wire_bytes),
+            value2=ratio if ratio != float("inf") else 0.0,
+            detail=self.codec.name,
+        )
+        tele = self._tele
+        tele["rounds"].inc()
+        tele["wire"].inc(stats.wire_bytes)
+        tele["logical"].inc(stats.original_bytes)
+        if ratio != float("inf"):
+            tele["ratio"].set(ratio)
+        error_gauges = None
+        if self.e_tol is not None and stats.error_measured:
+            headroom = self.e_tol - stats.achieved_error
+            flight(
+                "error",
+                rank,
+                round_=round_no,
+                value=stats.achieved_error,
+                value2=headroom,
+                detail=self.codec.name,
+            )
+            tele["achieved"].set(stats.achieved_error)
+            tele["headroom"].set(headroom)
+            error_gauges = {
+                "achieved_error": stats.achieved_error,
+                "error_headroom": headroom,
+                "e_tol": self.e_tol,
+            }
+        live_add_many(
+            rank,
+            {
+                "rounds": 1.0,
+                "wire_bytes": float(stats.wire_bytes),
+                "logical_bytes": float(stats.original_bytes),
+            },
+            sets=error_gauges,
+        )
+        if not report.clean:
+            record_resilience_report(report, round_=round_no)
+            if report.retries:
+                tele["retries"].inc(report.retries)
+                live_add(rank, "retries", float(report.retries))
+            if report.degradations:
+                tele["degradations"].inc(report.degradations)
+                live_add(rank, "degradations", float(report.degradations))
 
     def _exchange(self, send: Sequence[np.ndarray | None]) -> list[np.ndarray]:
         comm, p = self.comm, self.comm.size
@@ -557,10 +689,5 @@ class CompressedOscAlltoallv:
                 f"rank {comm.rank}: corrupted block(s) from rank(s) {sorted(failed)} "
                 f"with no fault plan active"
             )
-        self.last_stats = stats
-        self.last_report = report
-        trace_incr("messages", stats.sent_messages, rank=comm.rank)
-        trace_incr("logical_bytes", stats.original_bytes, rank=comm.rank)
-        trace_incr("wire_bytes", stats.wire_bytes, rank=comm.rank)
-        trace_report(report)
+        self._finish_exchange(stats, report)
         return recv  # type: ignore[return-value]

@@ -38,6 +38,8 @@ from repro.faults import ResilienceReport, RetryPolicy
 from repro.machine.topology import Topology
 from repro.runtime.base import Comm
 from repro.runtime.window import Window
+from repro.telemetry.metrics import counter as tele_counter
+from repro.telemetry.recorder import flight, live_add, record_resilience_report
 from repro.tuning.pool import BufferPool
 from repro.trace import incr as trace_incr
 from repro.trace import record_report as trace_report
@@ -257,6 +259,16 @@ class OscAlltoallv:
                 self._recover(chunks, recv, all_crcs, failed, report)
         self.last_report = report
         trace_report(report)
+        wire = int(my_sizes.sum())
+        flight("exchange-round", comm.rank, value=float(wire), detail="raw-osc")
+        tele_counter("repro_exchange_rounds_total", rank=comm.rank).inc()
+        tele_counter("repro_wire_bytes_total", rank=comm.rank).inc(wire)
+        tele_counter("repro_logical_bytes_total", rank=comm.rank).inc(wire)
+        live_add(comm.rank, "rounds", 1.0)
+        live_add(comm.rank, "wire_bytes", float(wire))
+        live_add(comm.rank, "logical_bytes", float(wire))
+        if not report.clean:
+            record_resilience_report(report)
         return recv
 
 

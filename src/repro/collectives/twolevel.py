@@ -46,7 +46,6 @@ from repro.collectives.compressed import CompressedOscAlltoallv, ExchangeStats
 from repro.errors import CommunicatorError, CompressionError, WireIntegrityError
 from repro.faults import ResilienceReport
 from repro.trace import incr as trace_incr
-from repro.trace import record_report as trace_report
 from repro.trace import span as trace_span
 
 __all__ = ["TwoLevelCompressedAlltoallv"]
@@ -274,10 +273,5 @@ class TwoLevelCompressedAlltoallv(CompressedOscAlltoallv):
                 f"rank {me}: corrupted block(s) from rank(s) {sorted(failed)} "
                 f"with no fault plan active"
             )
-        self.last_stats = stats
-        self.last_report = report
-        trace_incr("messages", stats.sent_messages, rank=me)
-        trace_incr("logical_bytes", stats.original_bytes, rank=me)
-        trace_incr("wire_bytes", stats.wire_bytes, rank=me)
-        trace_report(report)
+        self._finish_exchange(stats, report)
         return recv  # type: ignore[return-value]

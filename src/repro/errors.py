@@ -32,6 +32,7 @@ __all__ = [
     "CheckpointError",
     "AbftError",
     "TuningError",
+    "TelemetryError",
 ]
 
 
@@ -175,6 +176,10 @@ class AbftError(ReproError):
 
 class TuningError(ReproError):
     """A tuning profile is malformed, stale, or names an unknown codec."""
+
+
+class TelemetryError(ReproError):
+    """Telemetry misuse: bad segment, unknown rank, malformed dump."""
 
 
 class ConformanceFailure(ReproError):

@@ -38,6 +38,7 @@ from repro.fft.decomposition import (
 from repro.fft.local_fft import batched_fft, batched_ifft, complex_dtype
 from repro.fft.reshape import ReshapePlan, ReshapeStats
 from repro.machine.topology import Topology
+from repro.telemetry.recorder import flight, live_update
 from repro.runtime.base import Comm
 from repro.runtime.virtual import VirtualWorld
 from repro.trace import span as trace_span
@@ -311,6 +312,13 @@ class Fft3d:
         if stats is None:
             stats = FftStats()
         block = np.ascontiguousarray(local, dtype=self.dtype)
+        flight(
+            "fft",
+            comm.rank,
+            value=float(self.nranks),
+            detail=f"{'i' if inverse else ''}fft {self.shape[0]}^3",
+        )
+        live_update(comm.rank, alive=1.0, phase="fft")
         with trace_span(
             "fft",
             rank=comm.rank,
@@ -335,6 +343,10 @@ class Fft3d:
                         stage_codec,
                         topology=self.topology,
                         pipeline_chunks=entry.pipeline_chunks if entry is not None else 1,
+                        # With a tolerance configured the exchange also
+                        # verifies it per message, which feeds the
+                        # achieved-error / headroom telemetry gauges.
+                        e_tol=self.e_tol,
                         pool=pool,
                         tuned=self.tuned_key,
                     )
@@ -353,9 +365,11 @@ class Fft3d:
                         alltoall.free()
                 stats.reshapes.append(rstats)
                 if step < 3:
+                    live_update(comm.rank, phase="local_fft")
                     with trace_span("local_fft", rank=comm.rank, axis=step):
                         block = transform(block, step - 3, self.precision)
         self.last_stats = stats
+        live_update(comm.rank, phase="idle")
         return block
 
 

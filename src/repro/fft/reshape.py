@@ -31,6 +31,7 @@ from repro.collectives.twolevel import TwoLevelCompressedAlltoallv
 from repro.compression.base import Codec
 from repro.errors import PlanError
 from repro.faults import ResilienceReport, RetryPolicy
+from repro.telemetry.recorder import live_update
 from repro.tuning.pool import BufferPool
 from repro.tuning.profile import VARIANTS
 from repro.trace import incr as trace_incr
@@ -283,6 +284,10 @@ class ReshapePlan:
                 send[d] = self.pack(rank, local, d, box, pool=pool)
 
         report: ResilienceReport | None = None
+        # One live-phase beacon per reshape: "exchange" is where a rank
+        # spends its blocking time (pack/unpack are sub-ms local work and
+        # per-phase beacons there measurably tax the GIL-shared ranks).
+        live_update(rank, phase="exchange")
         with trace_span("exchange", rank=rank, method=method, messages=len(self.pairs[rank])):
             if alltoall is not None:
                 recv = alltoall(send)

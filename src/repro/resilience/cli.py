@@ -118,11 +118,15 @@ def run_resilience_cli(
     from repro.trace.core import Tracer, install, uninstall
     from repro.trace.export import write_chrome_trace
 
+    from repro.telemetry.blackbox import emit_blackbox, write_blackbox
+    from repro.telemetry.recorder import reset as reset_flight
+
     kinds = DRILL_KINDS if kind == "both" else (kind,)
     all_ok = True
     for k in kinds:
         tracer = Tracer()
         install(tracer)
+        reset_flight()  # one flight-recorder ring per drill
         try:
             ok, _err, report, text = run_drill(
                 k,
@@ -148,6 +152,12 @@ def run_resilience_cli(
                 with open(report_path, "w", encoding="utf-8") as fh:
                     json.dump(report.to_json(), fh, indent=2, sort_keys=True)
                 print(f"failure report:     {report_path}")
+            # Black-box dump from the always-on flight recorder: the
+            # detect/agree/shrink/restart timeline with no Tracer needed.
+            dump = emit_blackbox(f"resilience drill: {k}", failure_report=report)
+            bb_path = os.path.join(out, f"blackbox_{k}.json")
+            write_blackbox(dump, bb_path)
+            print(f"black-box dump:     {bb_path}")
         print("result:             " + ("PASS" if ok else "FAIL"))
         print()
         all_ok = all_ok and ok

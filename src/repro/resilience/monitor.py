@@ -37,6 +37,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Iterator
 
+from repro.telemetry.recorder import flight
+
 __all__ = [
     "STALL_CLASSIFICATIONS",
     "RankFailure",
@@ -279,7 +281,14 @@ class HeartbeatMonitor:
             # The detection window: from the victim's last sign of life
             # to the moment the failure was pinned down.
             self._phase_spans.append(PhaseSpan("detect", rank, now - age, now))
-            return failure
+        flight(
+            "rank-failed",
+            rank,
+            value=age,
+            detail=f"{kind}/{failure.classification}"[:40],
+        )
+        flight("detect", rank, value=age)
+        return failure
 
     def failures(self) -> list[RankFailure]:
         with self._lock:
@@ -377,6 +386,14 @@ class HeartbeatMonitor:
                 self._failures[rank] = failure
                 self._phase_spans.append(PhaseSpan("detect", rank, self._beats[rank], now))
                 new.append(failure)
+        for failure in new:
+            flight(
+                "rank-failed",
+                failure.rank,
+                value=failure.last_beat_age,
+                detail=f"{failure.kind}/{failure.classification}"[:40],
+            )
+            flight("detect", failure.rank, value=failure.last_beat_age)
         return new
 
     # -- recovery timeline -------------------------------------------------------------
@@ -391,6 +408,7 @@ class HeartbeatMonitor:
             span = PhaseSpan(name, rank, t0, self.now())
             with self._lock:
                 self._phase_spans.append(span)
+            flight(name, rank, value=span.duration)
 
     # -- reporting -----------------------------------------------------------------------
 

@@ -80,6 +80,20 @@ from repro.runtime.shm import (
     sweep_segments,
 )
 from repro.runtime.window import Window
+from repro.telemetry.blackbox import (
+    arm_signal_dump,
+    build_blackbox,
+    disarm_signal_dump,
+    emit_blackbox,
+)
+from repro.telemetry.recorder import flight, install_sink, is_enabled, live_update
+from repro.telemetry.shmseg import (
+    DEFAULT_SHM_CAPACITY,
+    ShmSink,
+    ShmTelemetry,
+    remove_runfile,
+    write_runfile,
+)
 from repro.trace.core import Tracer
 from repro.trace.core import get_tracer as trace_get_tracer
 from repro.trace.core import install as trace_install
@@ -90,7 +104,13 @@ __all__ = ["ProcessWorld", "ProcComm", "run_spmd_proc"]
 DEFAULT_TIMEOUT = 120.0
 
 
-def _cleanup_segments(owner_pid: int, rings: list[ShmRing], ctl: WorldControl, uid: str) -> None:
+def _cleanup_segments(
+    owner_pid: int,
+    rings: list[ShmRing],
+    ctl: WorldControl,
+    uid: str,
+    telemetry: ShmTelemetry | None = None,
+) -> None:
     """Parent-side teardown; a no-op in forked children.
 
     Registered as a GC finalizer too, and fork copies the finalizer
@@ -102,6 +122,9 @@ def _cleanup_segments(owner_pid: int, rings: list[ShmRing], ctl: WorldControl, u
     for ring in rings:
         ring.destroy()
     ctl.destroy()
+    if telemetry is not None:
+        telemetry.destroy()
+    remove_runfile(uid)
     sweep_segments(uid)
 
 
@@ -136,13 +159,21 @@ def _child_main(
         child_tracer.bind_rank(rank)
     else:
         trace_install(None)
+    if world.telemetry is not None:
+        # Events recorded by this rank now land in the shared segment,
+        # where the parent can read them even after this process dies.
+        install_sink(ShmSink(world.telemetry))
+        live_update(rank, alive=1.0, phase="start")
     try:
         comm = ProcComm(world, rank)
         result = fn(comm, *args, **kwargs)
         payload = ("ok", rank, result)
+        live_update(rank, done=1.0, phase="done")
     except BaseException as exc:  # noqa: BLE001 - must not hang peers
         world._ctl.abort(f"rank {rank} raised {type(exc).__name__}: {exc}")
         payload = _encode_error(rank, exc)
+        flight("abort", rank, detail=f"{type(exc).__name__}: {exc}"[:40])
+        live_update(rank, alive=0.0, phase="failed")
     if child_tracer is not None:
         try:
             from repro.trace.export import write_spool
@@ -178,6 +209,7 @@ class ProcessWorld:
         timeout: float = DEFAULT_TIMEOUT,
         faults: Any = None,
         ring_capacity: int = DEFAULT_RING_CAPACITY,
+        telemetry_capacity: int = DEFAULT_SHM_CAPACITY,
     ) -> None:
         if nranks < 1:
             raise CommunicatorError(f"nranks must be >= 1, got {nranks}")
@@ -217,8 +249,30 @@ class ProcessWorld:
         self.store: dict[Any, Any] = {}
         self.store_lock = self._ctx.Lock()
         self._owner_pid = os.getpid()
+        #: Shared-memory flight rings + live gauges, one block per rank
+        #: (``{uid}t`` rides the world's segment namespace, so the
+        #: crash sweep covers it).  Forked children inherit the mapping;
+        #: ``python -m repro monitor`` attaches by name via the runfile.
+        self.telemetry: ShmTelemetry | None = None
+        self.last_blackbox: dict[str, Any] | None = None
+        if is_enabled():
+            self.telemetry = ShmTelemetry(
+                f"{self.uid}t", nranks, capacity=telemetry_capacity
+            )
+            try:
+                write_runfile(
+                    self.uid, {"segment": f"{self.uid}t", "nranks": nranks}
+                )
+            except OSError:  # pragma: no cover - unwritable tempdir
+                pass
         self._finalizer = weakref.finalize(
-            self, _cleanup_segments, self._owner_pid, self.rings, self._ctl, self.uid
+            self,
+            _cleanup_segments,
+            self._owner_pid,
+            self.rings,
+            self._ctl,
+            self.uid,
+            self.telemetry,
         )
 
     # -- abort / state -----------------------------------------------------------------
@@ -316,6 +370,9 @@ class ProcessWorld:
         spool_dir = None
         if parent_tracer is not None and parent_tracer.enabled:
             spool_dir = tempfile.mkdtemp(prefix="repro-spool-")
+        usr1_armed = False
+        if self.telemetry is not None:
+            usr1_armed = arm_signal_dump(self._snapshot_blackbox)
         conns = []
         procs = []
         try:
@@ -343,8 +400,58 @@ class ProcessWorld:
                     self._merge_spools(parent_tracer, spool_dir)
                 finally:
                     shutil.rmtree(spool_dir, ignore_errors=True)
-            self.close()
+            if usr1_armed:
+                disarm_signal_dump()
+            try:
+                self._note_child_deaths([p for p, _ in procs])
+                self._harvest_blackbox()
+            finally:
+                self.close()
         return self._interpret(payloads, [p for p, _ in procs])
+
+    def _snapshot_blackbox(self) -> dict[str, Any]:
+        """Freeze the shared telemetry segment into a dump dict (SIGUSR1)."""
+        assert self.telemetry is not None
+        return build_blackbox(
+            self.telemetry.events_by_rank(),
+            reason="SIGUSR1",
+            nranks=self.nranks,
+            live=self.telemetry.live_snapshot(),
+            uid=self.uid,
+        )
+
+    def _note_child_deaths(self, procs: list) -> None:
+        """After the reap: if a child died abnormally and nothing recorded
+        an abort reason yet (the EOF/is_alive race can eat it), record one
+        so the black-box harvest knows the run failed."""
+        try:
+            if self._ctl.abort_reason() is not None:
+                return
+            for rank, proc in enumerate(procs):
+                if proc.exitcode not in (0, None):
+                    self._ctl.abort(
+                        f"rank {rank} process died with exit code {proc.exitcode}"
+                    )
+                    return
+        except Exception:  # noqa: BLE001 - bookkeeping must not mask the root error
+            pass
+
+    def _harvest_blackbox(self) -> None:
+        """Post-mortem: recover every rank's flight ring from shared
+        memory when the run aborted — the segment outlives dead children,
+        so the victim's last events are still there to dump."""
+        reason = self._ctl.abort_reason()
+        if reason is None or self.telemetry is None:
+            return
+        try:
+            self.last_blackbox = emit_blackbox(
+                f"proc-world abort: {reason}",
+                recorder=self.telemetry,
+                uid=self.uid,
+                nranks=self.nranks,
+            )
+        except Exception:  # noqa: BLE001 - the dump must not mask the root error
+            pass
 
     def _collect(self, procs: list, conns: list) -> list[Any]:
         """Read result pipes while children run (a child sending a large
@@ -363,7 +470,19 @@ class ProcessWorld:
                     try:
                         payloads[rank] = conn.recv()
                     except EOFError:
-                        pass
+                        # Pipe torn with no payload: the child died (a
+                        # SIGKILL races the is_alive check below, and the
+                        # EOF often wins).  Note the abort so peers wake
+                        # and the post-mortem harvest has its reason.
+                        if (
+                            not proc.is_alive()
+                            and proc.exitcode not in (0, None)
+                            and rank not in abort_noted
+                        ):
+                            abort_noted.add(rank)
+                            self._ctl.abort(
+                                f"rank {rank} process died with exit code {proc.exitcode}"
+                            )
                     done[rank] = True
                     progressed = True
                 elif not proc.is_alive():
@@ -453,7 +572,9 @@ class ProcessWorld:
             return
         self._closed = True
         self._finalizer.detach()
-        _cleanup_segments(self._owner_pid, self.rings, self._ctl, self.uid)
+        _cleanup_segments(
+            self._owner_pid, self.rings, self._ctl, self.uid, self.telemetry
+        )
 
     def __enter__(self) -> "ProcessWorld":
         return self

@@ -50,6 +50,7 @@ from repro.resilience.monitor import FailureReport, HeartbeatMonitor, RevocableB
 from repro.runtime.base import ANY_SOURCE, ANY_TAG, Comm, Request
 from repro.runtime.mailbox import Envelope, Mailbox
 from repro.runtime.window import Window
+from repro.telemetry.blackbox import emit_blackbox
 from repro.trace import bind_rank as trace_bind_rank
 from repro.trace import get_tracer as trace_get_tracer
 from repro.trace import span as trace_span
@@ -386,10 +387,14 @@ class ThreadWorld:
                 t.join(timeout=max(1.0, self.timeout * 0.5))
                 if t.is_alive():
                     self.abort("join timeout")
-                    raise RankFailureError(
-                        f"{t.name} failed to finish (deadlock?)",
-                        report=self.monitor.build_report(detail="join timeout"),
+                    report = self.monitor.build_report(detail="join timeout")
+                    exc = RankFailureError(
+                        f"{t.name} failed to finish (deadlock?)", report=report
                     )
+                    exc.blackbox = emit_blackbox(  # type: ignore[attr-defined]
+                        f"thread-world join timeout: {t.name}", failure_report=report
+                    )
+                    raise exc
         if errors:
             # An aborting rank makes its peers unwind with RuntimeAbort /
             # revocation / broken-barrier errors; surface the *root
@@ -405,8 +410,14 @@ class ThreadWorld:
                 # Every error is an echo of an injected rank death that
                 # nobody recovered from: report the failure structurally.
                 report = self.monitor.build_report(detail="no recovery attempted")
-                raise RankFailureError(report.summary(), report=report)
-            _, exc = sorted(originals or errors, key=lambda e: e[0])[0]
+                exc = RankFailureError(report.summary(), report=report)
+                exc.blackbox = emit_blackbox(  # type: ignore[attr-defined]
+                    f"thread-world rank failure: {report.summary()}",
+                    failure_report=report,
+                )
+                raise exc
+            rank, exc = sorted(originals or errors, key=lambda e: e[0])[0]
+            emit_blackbox(f"thread-world abort: rank {rank} raised {type(exc).__name__}")
             raise exc
         return results
 

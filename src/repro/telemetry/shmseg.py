@@ -1,0 +1,379 @@
+"""Shared-memory telemetry segment: flight rings + live gauges per rank.
+
+The process runtime cannot dump a dead child's in-process ring — the
+events die with the rank.  :class:`ShmTelemetry` therefore puts the
+rings *in shared memory*: one fixed-size segment per world (named
+``{uid}t`` inside the world's existing segment namespace, so the
+crash-sweep and the leak fixture cover it for free), holding for each
+rank
+
+* a **live block** — :data:`~repro.telemetry.recorder.LIVE_FIELDS`
+  as f64 slots plus a 16-byte phase string, the row the live monitor
+  renders;
+* a **flight ring** — a monotonic write counter and ``capacity``
+  fixed 104-byte event records.
+
+Each rank is the *single writer* of its own block (forked children
+inherit the parent's mapping, so no name exchange or reattach is
+needed), which keeps writes lock-free across processes; the parent —
+or a ``python -m repro monitor`` process attaching by name — reads
+concurrently.  Readers tolerate a torn in-flight record: the write
+counter is published after the record body, and a dead child's counter
+simply stops moving, leaving its last completed events intact for the
+post-mortem harvest.
+
+Record layout (little-endian, 104 bytes)::
+
+    seq u64 | t_ns i64 | rank i32 | peer i32 | round i64
+    | value f64 | value2 f64 | kind 16s | detail 40s
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+import struct
+import tempfile
+import threading
+import time
+from multiprocessing.shared_memory import SharedMemory
+from typing import Any
+
+from repro.errors import TelemetryError
+from repro.runtime.shm import quiet_close
+from repro.telemetry.recorder import LIVE_FIELDS, FlightEvent
+
+__all__ = [
+    "ShmTelemetry",
+    "ShmSink",
+    "monitor_dir",
+    "write_runfile",
+    "remove_runfile",
+    "list_runfiles",
+]
+
+_MAGIC = b"RPROTEL1"
+_HEADER = struct.Struct("<8sII")  # magic, nranks, capacity
+_HEADER_BYTES = 64
+
+#: f64 slots reserved per rank (>= len(LIVE_FIELDS), room to grow
+#: without a layout version bump).
+_LIVE_SLOTS = 16
+_PHASE_BYTES = 16
+_LIVE_BYTES = _LIVE_SLOTS * 8 + _PHASE_BYTES  # 144, 8-aligned
+
+_RING_HEADER = 16  # u64 write counter + pad
+_EV = struct.Struct("<Qqiiqdd16s40s")  # see module docstring
+_EV_BYTES = _EV.size  # 104
+
+_U64 = struct.Struct("<Q")
+_F64 = struct.Struct("<d")
+
+#: slot index per live field name (phase is stored separately).
+_FIELD_SLOT = {name: i for i, name in enumerate(LIVE_FIELDS)}
+
+#: Default events retained per rank.
+DEFAULT_SHM_CAPACITY = 256
+
+
+def _trunc(text: str, limit: int) -> bytes:
+    return text.encode("utf-8", "replace")[:limit]
+
+
+class ShmTelemetry:
+    """One world's telemetry segment (create in the parent, inherit or
+    attach everywhere else)."""
+
+    def __init__(
+        self,
+        name: str,
+        nranks: int = 0,
+        *,
+        capacity: int = DEFAULT_SHM_CAPACITY,
+        create: bool = True,
+    ) -> None:
+        self.name = name
+        if create:
+            if nranks < 1:
+                raise TelemetryError(f"nranks must be >= 1, got {nranks}")
+            if capacity < 1:
+                raise TelemetryError(f"capacity must be >= 1, got {capacity}")
+            self.nranks = int(nranks)
+            self.capacity = int(capacity)
+            total = _HEADER_BYTES + self.nranks * self._rank_block_bytes()
+            self.shm = SharedMemory(name=name, create=True, size=total)
+            self.shm.buf[:total] = b"\0" * total
+            _HEADER.pack_into(self.shm.buf, 0, _MAGIC, self.nranks, self.capacity)
+        else:
+            try:
+                self.shm = SharedMemory(name=name, create=False)
+            except FileNotFoundError as exc:
+                raise TelemetryError(f"no telemetry segment named {name!r}") from exc
+            magic, nr, cap = _HEADER.unpack_from(self.shm.buf, 0)
+            if magic != _MAGIC:
+                quiet_close(self.shm)
+                raise TelemetryError(
+                    f"segment {name!r} is not a telemetry segment (bad magic)"
+                )
+            self.nranks = int(nr)
+            self.capacity = int(cap)
+        self._write_locks = [threading.Lock() for _ in range(self.nranks)]
+        self._closed = False
+
+    @classmethod
+    def attach(cls, name: str) -> "ShmTelemetry":
+        """Attach read/write to an existing segment by name."""
+        return cls(name, create=False)
+
+    # -- layout ------------------------------------------------------------------
+
+    def _rank_block_bytes(self) -> int:
+        return _LIVE_BYTES + _RING_HEADER + self.capacity * _EV_BYTES
+
+    def _live_off(self, rank: int) -> int:
+        return _HEADER_BYTES + rank * self._rank_block_bytes()
+
+    def _ring_off(self, rank: int) -> int:
+        return self._live_off(rank) + _LIVE_BYTES
+
+    def _check_rank(self, rank: int) -> int:
+        rank = int(rank)
+        if not 0 <= rank < self.nranks:
+            raise TelemetryError(f"rank {rank} out of range [0, {self.nranks})")
+        return rank
+
+    # -- write side (single writer per rank) ----------------------------------------
+
+    def record(
+        self,
+        kind: str,
+        rank: int,
+        peer: int = -1,
+        round_: int = -1,
+        value: float = 0.0,
+        value2: float = 0.0,
+        detail: str = "",
+        t_ns: int | None = None,
+    ) -> None:
+        rank = self._check_rank(rank)
+        now = time.perf_counter_ns() if t_ns is None else int(t_ns)
+        ring = self._ring_off(rank)
+        with self._write_locks[rank]:
+            head = _U64.unpack_from(self.shm.buf, ring)[0]
+            slot = ring + _RING_HEADER + (head % self.capacity) * _EV_BYTES
+            _EV.pack_into(
+                self.shm.buf,
+                slot,
+                head + 1,
+                now,
+                rank,
+                int(peer),
+                int(round_),
+                float(value),
+                float(value2),
+                _trunc(kind, 16),
+                _trunc(detail, 40),
+            )
+            # Publish after the body: a reader never sees a half-written
+            # record as committed.
+            _U64.pack_into(self.shm.buf, ring, head + 1)
+            self._bump_locked(rank, "events", 1.0)
+            self._set_locked(rank, "heartbeat_ns", float(now))
+
+    def _slot_off(self, rank: int, name: str) -> int | None:
+        slot = _FIELD_SLOT.get(name)
+        if slot is None:
+            return None
+        return self._live_off(rank) + slot * 8
+
+    def _set_locked(self, rank: int, name: str, value: float) -> None:
+        off = self._slot_off(rank, name)
+        if off is not None:
+            _F64.pack_into(self.shm.buf, off, float(value))
+
+    def _bump_locked(self, rank: int, name: str, delta: float) -> None:
+        off = self._slot_off(rank, name)
+        if off is not None:
+            cur = _F64.unpack_from(self.shm.buf, off)[0]
+            _F64.pack_into(self.shm.buf, off, cur + float(delta))
+
+    def update(self, rank: int, updates: dict[str, Any]) -> None:
+        """Set live gauges (unknown field names are ignored, so the
+        in-process recorder can carry richer state than the segment)."""
+        rank = self._check_rank(rank)
+        with self._write_locks[rank]:
+            for key, val in updates.items():
+                if key == "phase":
+                    raw = _trunc(str(val), _PHASE_BYTES).ljust(_PHASE_BYTES, b"\0")
+                    off = self._live_off(rank) + _LIVE_SLOTS * 8
+                    self.shm.buf[off : off + _PHASE_BYTES] = raw
+                else:
+                    self._set_locked(rank, key, float(val))
+            self._set_locked(rank, "heartbeat_ns", float(time.perf_counter_ns()))
+
+    def add(self, rank: int, name: str, delta: float) -> None:
+        rank = self._check_rank(rank)
+        with self._write_locks[rank]:
+            self._bump_locked(rank, name, delta)
+
+    def add_many(
+        self,
+        rank: int,
+        deltas: dict[str, float],
+        sets: dict[str, float] | None = None,
+    ) -> None:
+        """Accumulate (and optionally set) live gauges under one lock."""
+        rank = self._check_rank(rank)
+        with self._write_locks[rank]:
+            for name, delta in deltas.items():
+                self._bump_locked(rank, name, delta)
+            if sets:
+                for name, val in sets.items():
+                    self._set_locked(rank, name, float(val))
+
+    def heartbeat(self, rank: int) -> None:
+        rank = self._check_rank(rank)
+        self._set_locked(rank, "heartbeat_ns", float(time.perf_counter_ns()))
+
+    # -- read side (parent / monitor) ------------------------------------------------
+
+    def events(self, rank: int) -> list[FlightEvent]:
+        """Decode one rank's ring, oldest first (post-mortem safe)."""
+        rank = self._check_rank(rank)
+        ring = self._ring_off(rank)
+        head = _U64.unpack_from(self.shm.buf, ring)[0]
+        n = min(head, self.capacity)
+        out: list[FlightEvent] = []
+        for i in range(n):
+            idx = (head - n + i) % self.capacity
+            slot = ring + _RING_HEADER + idx * _EV_BYTES
+            seq, t_ns, r, peer, rnd, value, value2, kind_b, detail_b = _EV.unpack_from(
+                self.shm.buf, slot
+            )
+            kind = kind_b.rstrip(b"\0").decode("utf-8", "replace")
+            if not kind:
+                continue  # unwritten slot (torn tail)
+            out.append(
+                FlightEvent(
+                    kind=kind,
+                    rank=int(r),
+                    t_ns=int(t_ns),
+                    seq=int(seq),
+                    peer=int(peer),
+                    round=int(rnd),
+                    value=float(value),
+                    value2=float(value2),
+                    detail=detail_b.rstrip(b"\0").decode("utf-8", "replace"),
+                )
+            )
+        return out
+
+    def events_by_rank(self) -> dict[int, list[FlightEvent]]:
+        return {r: self.events(r) for r in range(self.nranks)}
+
+    def live(self, rank: int) -> dict[str, Any]:
+        rank = self._check_rank(rank)
+        base = self._live_off(rank)
+        row: dict[str, Any] = {}
+        for name, slot in _FIELD_SLOT.items():
+            row[name] = _F64.unpack_from(self.shm.buf, base + slot * 8)[0]
+        off = base + _LIVE_SLOTS * 8
+        row["phase"] = bytes(self.shm.buf[off : off + _PHASE_BYTES]).rstrip(b"\0").decode(
+            "utf-8", "replace"
+        )
+        return row
+
+    def live_snapshot(self) -> dict[int, dict[str, Any]]:
+        return {r: self.live(r) for r in range(self.nranks)}
+
+    # -- lifecycle -------------------------------------------------------------------
+
+    def detach(self) -> None:
+        if not self._closed:
+            self._closed = True
+            quiet_close(self.shm)
+
+    def destroy(self) -> None:
+        self.detach()
+        try:
+            self.shm.unlink()
+        except FileNotFoundError:
+            pass
+
+
+class ShmSink:
+    """Flight-recorder sink writing into a :class:`ShmTelemetry` segment.
+
+    Installed in each forked rank (``install_sink(ShmSink(seg))``); the
+    rank passed at each call site addresses the block, so one sink
+    object serves any rank of the world.
+    """
+
+    def __init__(self, segment: ShmTelemetry) -> None:
+        self.segment = segment
+
+    def record(
+        self,
+        kind: str,
+        rank: int,
+        peer: int = -1,
+        round_: int = -1,
+        value: float = 0.0,
+        value2: float = 0.0,
+        detail: str = "",
+    ) -> None:
+        self.segment.record(kind, rank, peer, round_, value, value2, detail)
+
+    def update(self, rank: int, updates: dict[str, Any]) -> None:
+        self.segment.update(rank, updates)
+
+    def add(self, rank: int, name: str, delta: float) -> None:
+        self.segment.add(rank, name, delta)
+
+    def add_many(
+        self,
+        rank: int,
+        deltas: dict[str, float],
+        sets: dict[str, float] | None = None,
+    ) -> None:
+        self.segment.add_many(rank, deltas, sets)
+
+
+# -- runfile discovery (how `python -m repro monitor` finds live worlds) ---------------
+
+
+def monitor_dir() -> str:
+    """Directory of runfiles advertising live proc-worlds."""
+    return os.path.join(tempfile.gettempdir(), "repro-monitor")
+
+
+def write_runfile(uid: str, info: dict[str, Any]) -> str:
+    """Advertise a live world: ``{uid}.json`` with segment name + pid."""
+    path = os.path.join(monitor_dir(), f"{uid}.json")
+    os.makedirs(monitor_dir(), exist_ok=True)
+    payload = {"uid": uid, "pid": os.getpid(), "created": time.time(), **info}
+    tmp = f"{path}.tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh)
+    os.replace(tmp, path)
+    return path
+
+
+def remove_runfile(uid: str) -> None:
+    try:
+        os.unlink(os.path.join(monitor_dir(), f"{uid}.json"))
+    except OSError:
+        pass
+
+
+def list_runfiles() -> list[dict[str, Any]]:
+    """All advertised worlds, newest first (stale files are skipped)."""
+    out: list[dict[str, Any]] = []
+    for path in glob.glob(os.path.join(monitor_dir(), "*.json")):
+        try:
+            with open(path, encoding="utf-8") as fh:
+                out.append(json.load(fh))
+        except (OSError, ValueError):
+            continue
+    return sorted(out, key=lambda r: r.get("created", 0.0), reverse=True)

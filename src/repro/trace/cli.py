@@ -17,6 +17,7 @@ Cases:
 
 from __future__ import annotations
 
+import json
 import os
 
 import numpy as np
@@ -141,6 +142,18 @@ def run_trace_case(
         ),
     )
 
+    # The always-on metrics registry observed the same run; export both
+    # machine (JSON snapshot) and scrape (Prometheus text) forms.
+    from repro.telemetry.metrics import get_registry
+
+    registry = get_registry()
+    metrics_path = os.path.join(out_dir, f"METRICS_{name}.json")
+    with open(metrics_path, "w", encoding="utf-8") as fh:
+        json.dump(registry.snapshot(), fh, indent=2, sort_keys=True)
+    prom_path = os.path.join(out_dir, f"METRICS_{name}.prom")
+    with open(prom_path, "w", encoding="utf-8") as fh:
+        fh.write(registry.prometheus())
+
     lines = [
         f"=== traced {case}: {nranks} ranks, n={n}, e_tol={e_tol:g}, "
         f"runtime={runtime} ===",
@@ -148,6 +161,7 @@ def run_trace_case(
         "",
         f"chrome trace: {trace_path}",
         f"bench json:   {bench_path}",
+        f"metrics:      {metrics_path} / {prom_path}",
         f"wire bytes    tracer={traced_wire}  stats={stats_wire}  "
         f"{'OK' if consistent else 'MISMATCH'}",
     ]

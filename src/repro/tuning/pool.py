@@ -36,6 +36,8 @@ import threading
 import numpy as np
 
 from repro.errors import TuningError
+from repro.telemetry.metrics import counter as tele_counter
+from repro.telemetry.metrics import gauge as tele_gauge
 from repro.trace import incr as trace_incr
 from repro.utils.primes import next_pow2
 
@@ -94,7 +96,18 @@ class BufferPool:
                 hit = False
             self._out[id(arena)] = arena
         trace_incr("pool_hits" if hit else "pool_misses")
+        self._observe(hit)
         return arena[:nbytes]
+
+    def _observe(self, hit: bool) -> None:
+        """Mirror one acquire into the telemetry registry (cheap, best-effort)."""
+        if hit:
+            tele_counter("repro_pool_hits_total", pool=self.name).inc()
+        else:
+            tele_counter("repro_pool_misses_total", pool=self.name).inc()
+        total = self.hits + self.misses
+        if total:
+            tele_gauge("repro_pool_hit_rate", pool=self.name).set(self.hits / total)
 
     def acquire_array(self, shape: tuple[int, ...], dtype) -> np.ndarray:
         """A typed scratch array of ``shape``/``dtype`` over a pooled arena."""

@@ -46,6 +46,29 @@ def _seed_global_rngs(request) -> None:
     np.random.seed(zlib.crc32(request.node.nodeid.encode()))
 
 
+@pytest.fixture(autouse=True)
+def _fresh_telemetry():
+    """Every test sees a pristine telemetry layer.
+
+    The flight recorder, the metrics registry, and the last-blackbox slot
+    are process-global by design (always-on observability); without this
+    reset a test could pass or fail on events another test emitted.
+    """
+    from repro.telemetry import blackbox, metrics, recorder
+
+    recorder.configure(enabled=True)
+    recorder.install_sink(None)
+    recorder.reset()
+    metrics.get_registry().clear()
+    blackbox.set_last_blackbox(None)
+    yield
+    recorder.configure(enabled=True)
+    recorder.install_sink(None)
+    recorder.reset()
+    metrics.get_registry().clear()
+    blackbox.set_last_blackbox(None)
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     """Deterministic RNG; tests derive all randomness from it."""
