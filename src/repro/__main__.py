@@ -232,6 +232,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="beacon silence (seconds) before a rank is suspected dead",
     )
     _add_common_flags(res_p)
+    _add_runtime_flag(res_p)
 
     mon_p = sub.add_parser(
         "monitor", help="live per-rank dashboard of a running proc-world (shared-memory tail)"
@@ -352,6 +353,7 @@ def main(argv: list[str] | None = None) -> int:
             seed=args.seed,
             timeout=args.timeout,
             suspect_after=args.suspect_after,
+            runtime=args.runtime,
             out=args.out,
         )
 

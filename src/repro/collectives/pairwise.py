@@ -34,9 +34,11 @@ def ring_peers(rank: int, step: int, nranks: int, topo: Topology | None) -> tupl
 
     With a topology, uses the node-aware permutation: the destination is
     ``((node + step // g) % n) * g + (local + step) % g`` and the source
-    is its inverse; without one, the plain ``(rank ± step) % p`` ring.
+    is its inverse; without one — or with a non-uniform (shrunk) one,
+    where the closed form no longer maps ranks to nodes — the plain
+    ``(rank ± step) % p`` ring.
     """
-    if topo is None:
+    if topo is None or not getattr(topo, "uniform", True):
         return (rank + step) % nranks, (rank - step) % nranks
     g, n = topo.ranks_per_node, topo.nnodes
     node, local = rank // g, rank % g

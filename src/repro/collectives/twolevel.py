@@ -45,6 +45,8 @@ import numpy as np
 from repro.collectives.compressed import CompressedOscAlltoallv, ExchangeStats
 from repro.errors import CommunicatorError, CompressionError, WireIntegrityError
 from repro.faults import ResilienceReport
+from repro.telemetry.metrics import counter as metrics_counter
+from repro.telemetry.recorder import flight
 from repro.trace import incr as trace_incr
 from repro.trace import span as trace_span
 
@@ -73,16 +75,25 @@ class TwoLevelCompressedAlltoallv(CompressedOscAlltoallv):
     # -- helpers ------------------------------------------------------------------
 
     def _send_leader(self, src_node: int, dst_node: int) -> int:
-        """Rank on ``src_node`` aggregating traffic bound for ``dst_node``."""
+        """Rank on ``src_node`` aggregating traffic bound for ``dst_node``.
+
+        Elected ``(dst_node % live)`` over the node's *live* membership:
+        on a full node this is the classic ``m % g`` rotation, and after
+        a shrink the survivors deterministically re-elect among
+        themselves — a dead leader's duties move without any agreement
+        traffic beyond the shrink itself.
+        """
         topo = self.topology
         assert topo is not None
-        return topo.ranks_on_node(src_node)[dst_node % topo.ranks_per_node]
+        live = tuple(topo.ranks_on_node(src_node))
+        return live[dst_node % len(live)]
 
     def _recv_leader(self, src_node: int, dst_node: int) -> int:
         """Rank on ``dst_node`` receiving the aggregate from ``src_node``."""
         topo = self.topology
         assert topo is not None
-        return topo.ranks_on_node(dst_node)[src_node % topo.ranks_per_node]
+        live = tuple(topo.ranks_on_node(dst_node))
+        return live[src_node % len(live)]
 
     def _concat(self, parts: list[np.ndarray], total: int) -> np.ndarray:
         """Concatenate uint8 parts into one (possibly pooled) buffer."""
@@ -105,6 +116,39 @@ class TwoLevelCompressedAlltoallv(CompressedOscAlltoallv):
             # Nothing to aggregate across — the flat one-sided ring is
             # the same exchange with less plumbing.
             return super()._exchange(send)
+        if not getattr(topo, "uniform", True):
+            # Survivor topology: some nodes lost ranks.  A node with no
+            # live rank cannot host a leader at either end, and with at
+            # most one populated node there is no inter-node traffic to
+            # aggregate — degrade to the flat compressed path (same
+            # bytes, same tolerance, more NIC messages).
+            live_counts = [
+                len(tuple(topo.ranks_on_node(m))) for m in range(topo.nnodes)
+            ]
+            if min(live_counts) == 0 or sum(1 for c in live_counts if c) <= 1:
+                flight(
+                    "exchange-degrade",
+                    self.comm.rank,
+                    value=float(live_counts.count(0)),
+                    detail=f"{live_counts.count(0)} empty node(s)"[:40],
+                )
+                metrics_counter(
+                    "repro_exchange_degraded_total", reason="empty_node"
+                ).inc()
+                return super()._exchange(send)
+            demoted = [
+                m for m in range(topo.nnodes) if live_counts[m] < topo.ranks_per_node
+            ]
+            if demoted:
+                # Leader duties on these nodes just moved: survivors
+                # re-elect (m % live) over the shrunk node membership.
+                flight(
+                    "leader-failover",
+                    self.comm.rank,
+                    value=float(len(demoted)),
+                    detail=f"nodes {demoted}"[:40],
+                )
+                metrics_counter("repro_leader_failovers_total").inc()
         comm, p = self.comm, self.comm.size
         if len(send) != p:
             raise CommunicatorError(f"send list has {len(send)} entries for {p} ranks")

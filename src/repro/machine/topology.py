@@ -20,7 +20,7 @@ import numpy as np
 from repro.errors import ModelError
 from repro.machine.spec import MachineSpec
 
-__all__ = ["Topology", "node_aware_permutation", "ring_schedule"]
+__all__ = ["ShrunkTopology", "Topology", "node_aware_permutation", "ring_schedule"]
 
 
 @dataclass(frozen=True)
@@ -34,6 +34,12 @@ class Topology:
 
     machine: MachineSpec
     nranks: int
+
+    #: Every node hosts exactly ``ranks_per_node`` ranks in block order.
+    #: Closed-form schedules (the node-aware ring permutation) require
+    #: this; non-uniform placements (:class:`ShrunkTopology`) set it
+    #: False and consumers fall back to membership-list walks.
+    uniform = True
 
     def __post_init__(self) -> None:
         self.machine.nodes_for(self.nranks)  # validates
@@ -60,6 +66,67 @@ class Topology:
             raise ModelError(f"node {node} out of range [0, {self.nnodes})")
         g = self.ranks_per_node
         return range(node * g, (node + 1) * g)
+
+    def same_node(self, a: int, b: int) -> bool:
+        return self.node_of(a) == self.node_of(b)
+
+
+class ShrunkTopology:
+    """Survivor placement after rank failures: the parent map with holes.
+
+    Built when a ULFM shrink removes ranks but the machine stays the
+    same: survivor ``i`` of the dense shrunk communicator is parent rank
+    ``survivors[i]`` and keeps that rank's node.  Node indices are the
+    *parent's* — a node may be left with fewer live ranks than
+    ``ranks_per_node``, or none at all (``ranks_on_node`` returns an
+    empty tuple).  ``uniform`` is False: schedules that rely on the
+    closed-form block mapping (the node-aware ring permutation) must
+    fall back, while node-membership walks (the two-level exchange's
+    leader election) keep working over the live membership lists.
+    """
+
+    uniform = False
+
+    def __init__(self, parent, survivors) -> None:
+        self.parent = parent
+        self.survivors = tuple(int(r) for r in survivors)
+        if len(set(self.survivors)) != len(self.survivors):
+            raise ModelError(f"duplicate survivor ranks: {self.survivors}")
+        for g in self.survivors:
+            if not 0 <= g < parent.nranks:
+                raise ModelError(
+                    f"survivor rank {g} outside parent topology [0, {parent.nranks})"
+                )
+        self.nranks = len(self.survivors)
+        self.machine = parent.machine
+        self._on_node: dict[int, tuple[int, ...]] = {}
+        for r, g in enumerate(self.survivors):
+            self._on_node.setdefault(parent.node_of(g), ())
+            node = parent.node_of(g)
+            self._on_node[node] = self._on_node[node] + (r,)
+
+    @property
+    def nnodes(self) -> int:
+        return self.parent.nnodes
+
+    @property
+    def ranks_per_node(self) -> int:
+        """The *full* complement per node (the parent's); individual
+        nodes may hold fewer live ranks — walk :meth:`ranks_on_node`."""
+        return self.parent.ranks_per_node
+
+    def node_of(self, rank: int) -> int:
+        if not 0 <= rank < self.nranks:
+            raise ModelError(f"rank {rank} out of range [0, {self.nranks})")
+        return self.parent.node_of(self.survivors[rank])
+
+    def local_index(self, rank: int) -> int:
+        return self.parent.local_index(self.survivors[rank])
+
+    def ranks_on_node(self, node: int) -> tuple[int, ...]:
+        if not 0 <= node < self.nnodes:
+            raise ModelError(f"node {node} out of range [0, {self.nnodes})")
+        return self._on_node.get(node, ())
 
     def same_node(self, a: int, b: int) -> bool:
         return self.node_of(a) == self.node_of(b)

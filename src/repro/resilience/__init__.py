@@ -43,6 +43,7 @@ __all__ = [
     "RankFailure",
     "ResilientFft3d",
     "RevocableBarrier",
+    "ShmCheckpointStore",
     "SpmdResult",
     "bitmap_ranks",
     "ranks_bitmap",
@@ -53,6 +54,7 @@ __all__ = [
 _LAZY = {
     "CheckpointStore": "repro.resilience.checkpoint",
     "ResilientFft3d": "repro.resilience.checkpoint",
+    "ShmCheckpointStore": "repro.resilience.checkpoint",
     "SpmdResult": "repro.resilience.checkpoint",
 }
 

@@ -30,8 +30,11 @@ out-of-band and validated against the codec's error budget.
 
 from __future__ import annotations
 
+import struct
 import threading
+import zlib
 from dataclasses import dataclass
+from multiprocessing.shared_memory import SharedMemory
 from typing import Any
 
 import numpy as np
@@ -49,13 +52,42 @@ from repro.fft.box import Box3d
 from repro.fft.local_fft import batched_fft, batched_ifft
 from repro.fft.plan import Fft3d
 from repro.fft.reshape import ReshapeStats
+from repro.machine.topology import ShrunkTopology
 from repro.resilience.abft import reshape_checksums, verify_checksums
+from repro.runtime.shm import quiet_close
 from repro.trace import span as trace_span
 
-__all__ = ["CheckpointStore", "ResilientFft3d", "SpmdResult"]
+__all__ = ["CheckpointStore", "ResilientFft3d", "ShmCheckpointStore", "SpmdResult"]
 
 #: Number of pipeline stages (reshapes) in a 3-D transform.
 _N_STAGES = 4
+
+
+def _encode_frame(block: np.ndarray, meta: dict | None) -> np.ndarray:
+    """Snapshot ``block`` as a self-validating v2 wire frame."""
+    arr = np.ascontiguousarray(block)
+    return encode_wire(
+        CompressedMessage(
+            "checkpoint",
+            arr.reshape(-1).view(np.uint8),
+            str(arr.dtype),
+            arr.shape,
+            dict(meta or {}),
+        )
+    )
+
+
+def _decode_frame(key: Any, frame: np.ndarray) -> np.ndarray:
+    """CRC-validate and rebuild the snapshot stored under ``key``."""
+    try:
+        msg, _ = decode_wire(frame)
+    except WireIntegrityError as exc:
+        raise CheckpointError(f"checkpoint {key!r} failed validation: {exc}") from exc
+    try:
+        dtype = np.dtype(msg.dtype_name)
+    except TypeError as exc:
+        raise CheckpointError(f"checkpoint {key!r} has bad dtype {msg.dtype_name!r}") from exc
+    return msg.payload.view(dtype).reshape(msg.shape)
 
 
 class CheckpointStore:
@@ -77,29 +109,30 @@ class CheckpointStore:
 
     @classmethod
     def for_comm(cls, comm) -> "CheckpointStore":
-        """The store shared by ``comm``'s world (thread runtime only)."""
+        """The store shared by ``comm``'s world.
+
+        Thread runtime: the world's shared dict (same address space).
+        Process runtime (the world carries a ``uid`` and a live
+        ``state`` segment): a :class:`ShmCheckpointStore` of named
+        shared-memory segments — durable across child process death, so
+        a SIGKILLed rank's snapshots remain loadable by survivors.
+        """
         world = getattr(comm, "world", None)
+        uid = getattr(world, "uid", None)
+        if uid is not None and getattr(world, "state", None) is not None:
+            return ShmCheckpointStore(uid)
         store = getattr(world, "store", None)
         lock = getattr(world, "store_lock", None)
         if store is None or lock is None:
             raise CheckpointError(
                 f"communicator {type(comm).__name__} has no world-shared store; "
-                "checkpointed restart needs the thread runtime"
+                "checkpointed restart needs the thread or process runtime"
             )
         return cls(store, lock)
 
     def save(self, key: Any, block: np.ndarray, meta: dict | None = None) -> int:
         """Snapshot ``block`` under ``key``; returns the frame size in bytes."""
-        arr = np.ascontiguousarray(block)
-        frame = encode_wire(
-            CompressedMessage(
-                "checkpoint",
-                arr.reshape(-1).view(np.uint8),
-                str(arr.dtype),
-                arr.shape,
-                dict(meta or {}),
-            )
-        )
+        frame = _encode_frame(block, meta)
         with self._lock:
             self._store[key] = frame
         return int(frame.nbytes)
@@ -110,15 +143,7 @@ class CheckpointStore:
             frame = self._store.get(key)
         if frame is None:
             raise CheckpointError(f"no checkpoint under key {key!r}")
-        try:
-            msg, _ = decode_wire(frame)
-        except WireIntegrityError as exc:
-            raise CheckpointError(f"checkpoint {key!r} failed validation: {exc}") from exc
-        try:
-            dtype = np.dtype(msg.dtype_name)
-        except TypeError as exc:
-            raise CheckpointError(f"checkpoint {key!r} has bad dtype {msg.dtype_name!r}") from exc
-        return msg.payload.view(dtype).reshape(msg.shape)
+        return _decode_frame(key, frame)
 
     def has(self, key: Any) -> bool:
         with self._lock:
@@ -139,6 +164,141 @@ class CheckpointStore:
             if all(self.has((tag, nranks, stage, r)) for r in range(nranks)):
                 return stage
         return None
+
+
+#: Segment header: committed frame bytes (0 = no valid snapshot), key length.
+_CKPT_HDR = struct.Struct("<QI4x")
+
+
+class ShmCheckpointStore(CheckpointStore):
+    """Checkpoint store over named shared-memory segments (process runtime).
+
+    One ``/dev/shm`` segment per key, named ``{uid}k{crc32(key):08x}``,
+    laid out as ``[u64 committed_bytes][u32 keylen][key][v2 frame]``.
+    Durability is the point: a child rank writes its snapshot into the
+    segment, and the segment — unlike the child's heap — survives a
+    SIGKILL, so survivors can reload the dead rank's state during
+    restart.
+
+    The commit protocol makes torn writes read as *missing*, never as
+    stale-or-corrupt: ``committed_bytes`` is zeroed before the payload
+    is written and set last, so a writer killed mid-save leaves a key
+    that :meth:`has`/:meth:`load` treat as absent (restart then picks an
+    earlier globally complete stage).  The stored key bytes guard
+    against crc32 name collisions.  Each key is written by exactly one
+    rank, so there is no write-side locking; readers only attach after
+    the writer is dead or the stage barrier has passed.
+
+    Segments are ``uid``-prefixed, so :func:`~repro.runtime.shm.sweep_segments`
+    reclaims them when the world closes — the leak-clean guarantee
+    covers checkpoints too.
+    """
+
+    def __init__(self, uid: str) -> None:
+        self.uid = str(uid)
+        self._attached: dict[str, SharedMemory] = {}
+
+    def _segment(self, key: Any) -> str:
+        return f"{self.uid}k{zlib.crc32(repr(key).encode()) & 0xFFFFFFFF:08x}"
+
+    def save(self, key: Any, block: np.ndarray, meta: dict | None = None) -> int:
+        frame = _encode_frame(block, meta)
+        key_bytes = repr(key).encode()
+        need = _CKPT_HDR.size + len(key_bytes) + int(frame.nbytes)
+        name = self._segment(key)
+        shm = self._attached.get(name)
+        if shm is None:
+            try:
+                shm = SharedMemory(name=name, create=True, size=need)
+            except FileExistsError:
+                shm = SharedMemory(name=name, create=False)
+            self._attached[name] = shm
+        if shm.size < need:
+            # Resize = invalidate + unlink + recreate.  A reader racing
+            # the gap sees the key as missing, which is safe (restart
+            # falls back to an earlier complete stage).
+            _CKPT_HDR.pack_into(shm.buf, 0, 0, 0)
+            shm.unlink()
+            quiet_close(shm)
+            shm = SharedMemory(name=name, create=True, size=need)
+            self._attached[name] = shm
+        _CKPT_HDR.pack_into(shm.buf, 0, 0, len(key_bytes))  # invalidate
+        off = _CKPT_HDR.size
+        shm.buf[off : off + len(key_bytes)] = key_bytes
+        off += len(key_bytes)
+        np.frombuffer(shm.buf, dtype=np.uint8, count=int(frame.nbytes), offset=off)[:] = frame
+        _CKPT_HDR.pack_into(shm.buf, 0, int(frame.nbytes), len(key_bytes))  # commit
+        return int(frame.nbytes)
+
+    def _frame(self, key: Any) -> np.ndarray | None:
+        """Copy of the committed frame under ``key``, or None if absent."""
+        name = self._segment(key)
+        shm = self._attached.get(name)
+        transient = shm is None
+        if shm is None:
+            try:
+                shm = SharedMemory(name=name, create=False)
+            except FileNotFoundError:
+                return None
+        try:
+            nbytes, keylen = _CKPT_HDR.unpack_from(shm.buf, 0)
+            if nbytes == 0:
+                return None
+            off = _CKPT_HDR.size
+            if bytes(shm.buf[off : off + keylen]) != repr(key).encode():
+                return None  # crc32 name collision: some other key lives here
+            return np.frombuffer(
+                shm.buf, dtype=np.uint8, count=nbytes, offset=off + keylen
+            ).copy()
+        finally:
+            if transient:
+                quiet_close(shm)
+
+    def load(self, key: Any) -> np.ndarray:
+        frame = self._frame(key)
+        if frame is None:
+            raise CheckpointError(f"no checkpoint under key {key!r}")
+        return _decode_frame(key, frame)
+
+    def has(self, key: Any) -> bool:
+        name = self._segment(key)
+        shm = self._attached.get(name)
+        transient = shm is None
+        if shm is None:
+            try:
+                shm = SharedMemory(name=name, create=False)
+            except FileNotFoundError:
+                return False
+        try:
+            nbytes, keylen = _CKPT_HDR.unpack_from(shm.buf, 0)
+            if nbytes == 0:
+                return False
+            off = _CKPT_HDR.size
+            return bytes(shm.buf[off : off + keylen]) == repr(key).encode()
+        finally:
+            if transient:
+                quiet_close(shm)
+
+    def discard(self, key: Any) -> None:
+        name = self._segment(key)
+        shm = self._attached.pop(name, None)
+        if shm is None:
+            try:
+                shm = SharedMemory(name=name, create=False)
+            except FileNotFoundError:
+                return
+        _CKPT_HDR.pack_into(shm.buf, 0, 0, 0)
+        try:
+            shm.unlink()
+        except FileNotFoundError:
+            pass  # already swept
+        quiet_close(shm)
+
+    def close(self) -> None:
+        """Drop this process's attachments (segments stay on disk)."""
+        for shm in self._attached.values():
+            quiet_close(shm)
+        self._attached.clear()
 
 
 def _layouts(plan: Fft3d):
@@ -203,6 +363,7 @@ class ResilientFft3d:
         data_hint: str = "random",
         topology=None,
         method: str = "reference",
+        variant: str = "flat",
         abft: bool = True,
         max_recoveries: int = 2,
     ) -> None:
@@ -213,30 +374,50 @@ class ResilientFft3d:
         self._data_hint = data_hint
         self._topology = topology
         self.method = method
+        self.variant = variant
         self.abft = bool(abft)
         self.max_recoveries = int(max_recoveries)
         self.plan = self._build_plan(nranks)
-        # Plans per rank count: rebuilt on shrink, cached so every rank
-        # thread of one world shares the same object (last_stats lives
-        # on it).  self.plan stays pinned to the construction size.
-        self._plans = {nranks: self.plan}
+        # Plans per (rank count, survivor map): rebuilt on shrink,
+        # cached so every rank thread of one world shares the same
+        # object (last_stats lives on it).  self.plan stays pinned to
+        # the construction size.
+        self._plans = {(nranks, None): self.plan}
         self._plan_lock = threading.Lock()
         #: Plan that produced the most recent output (changes on shrink).
         self.active_plan: Fft3d = self.plan
         #: FailureReport of the most recent recovery (None = clean run).
         self.last_report = None
 
-    def _plan_for(self, nranks: int) -> Fft3d:
+    def _plan_for(self, nranks: int, parent_ranks=None) -> Fft3d:
+        if parent_ranks is not None:
+            parent_ranks = tuple(int(r) for r in parent_ranks)
+            if parent_ranks == tuple(range(nranks)):
+                parent_ranks = None  # identity map: the original dense world
         with self._plan_lock:
-            plan = self._plans.get(nranks)
+            key = (nranks, parent_ranks)
+            plan = self._plans.get(key)
             if plan is None:
-                plan = self._plans[nranks] = self._build_plan(nranks)
+                plan = self._plans[key] = self._build_plan(nranks, parent_ranks)
             return plan
 
-    def _build_plan(self, nranks: int) -> Fft3d:
+    def _build_plan(self, nranks: int, parent_ranks=None) -> Fft3d:
         topology = self._topology
         if topology is not None and getattr(topology, "nranks", nranks) != nranks:
-            topology = None  # machine map no longer matches the shrunk world
+            # The dense machine map no longer matches the shrunk world.
+            # When the communicator tells us *which* original ranks
+            # survived, keep node placement alive through a
+            # ShrunkTopology (the two-level exchange then re-elects
+            # leaders over live membership); otherwise drop to flat.
+            if (
+                parent_ranks is not None
+                and len(parent_ranks) == nranks
+                and getattr(topology, "nranks", 0) > nranks
+                and max(parent_ranks) < topology.nranks
+            ):
+                topology = ShrunkTopology(topology, parent_ranks)
+            else:
+                topology = None
         return Fft3d(
             self.shape,
             nranks,
@@ -280,6 +461,7 @@ class ResilientFft3d:
                 block,
                 codec=plan._stage_codec(step),
                 method=self.method,
+                variant=self.variant,
                 topology=plan.topology,
                 stats=rstats,
             )
@@ -317,7 +499,7 @@ class ResilientFft3d:
             sl = old_layout.box_of(r).slices_within(full)
             global_arr[..., sl[0], sl[1], sl[2]] = blk
         assert global_arr is not None  # old_size >= 1
-        new_plan = self._plan_for(sub.size)
+        new_plan = self._plan_for(sub.size, getattr(sub, "parent_ranks", None))
         new_layout = _layouts(new_plan)[stage]
         sl = new_layout.box_of(sub.rank).slices_within(full)
         return new_plan, np.ascontiguousarray(global_arr[..., sl[0], sl[1], sl[2]])
@@ -373,7 +555,7 @@ class ResilientFft3d:
         returns — it unwinds with ``RankKilledError`` and its slot in
         ``world.run``'s results is ``None``.
         """
-        plan = self._plan_for(comm.size)
+        plan = self._plan_for(comm.size, getattr(comm, "parent_ranks", None))
         self.active_plan = plan
         block = np.ascontiguousarray(local, dtype=plan.dtype)
         with trace_span(

@@ -1,10 +1,13 @@
 """Rank-failure drills behind ``python -m repro resilience``.
 
-Runs a forward+inverse 3-D FFT on the thread runtime with a process
-fault injected mid-reshape — a ``kill`` (fail-stop crash) or a ``hang``
-(wedged, beacon-silent rank) — and exercises the whole recovery story
-from DESIGN.md §10: heartbeat detection, liveness agreement, shrink to
-the survivors, and checkpointed restart.  Artefacts:
+Runs a forward+inverse 3-D FFT with a process fault injected
+mid-reshape — a ``kill`` (fail-stop crash) or a ``hang`` (wedged,
+beacon-silent rank) — and exercises the whole recovery story from
+DESIGN.md §10/§14: heartbeat detection, liveness agreement, shrink to
+the survivors, and checkpointed restart.  ``--runtime thread`` (the
+default) injects into rank threads; ``--runtime proc`` forks one OS
+process per rank and the kill drill delivers a *real* ``SIGKILL`` to
+the victim's pid.  Artefacts:
 
 * ``failure_report_<kind>.json`` — the structured
   :class:`~repro.resilience.monitor.FailureReport` (who died, how it was
@@ -43,18 +46,24 @@ def run_drill(
     seed: int = 0,
     timeout: float = 15.0,
     suspect_after: float = 0.5,
+    runtime: str = "thread",
 ) -> tuple[bool, float, FailureReport | None, str]:
     """One fault drill; returns ``(ok, rel_error, report, summary_text)``.
 
     ``after`` counts the victim's transport operations before the fault
     fires, placing the death mid-reshape rather than at the first send.
+    ``runtime`` picks the execution substrate: with ``"proc"`` the
+    victim is a forked OS process and a kill drill SIGKILLs its real
+    pid.
     """
     from repro.faults import FaultPlan, FaultRule
     from repro.resilience.checkpoint import ResilientFft3d
-    from repro.runtime.thread_rt import ThreadWorld
+    from repro.runtime import RUNTIMES, make_world
 
     if kind not in DRILL_KINDS:
         raise ValueError(f"unknown drill kind {kind!r}; expected one of {DRILL_KINDS}")
+    if runtime not in RUNTIMES:
+        raise ValueError(f"unknown runtime {runtime!r}; expected one of {RUNTIMES}")
     if not 0 <= victim < nranks:
         raise ValueError(f"victim rank {victim} out of range [0, {nranks})")
 
@@ -78,8 +87,8 @@ def run_drill(
         report = back.report or fwd.report
         return back.plan.gather(blocks), (fwd.recovered or back.recovered), report
 
-    world = ThreadWorld(
-        nranks, timeout=timeout, faults=plan, suspect_after=suspect_after
+    world = make_world(
+        runtime, nranks, timeout=timeout, faults=plan, suspect_after=suspect_after
     )
     results = [r for r in world.run(kernel) if r is not None]
     if not results:
@@ -91,7 +100,7 @@ def run_drill(
     ok = recovered and err <= tol and seq_ok
     lines = [
         f"--- drill: {kind} rank {victim} after {after} ops "
-        f"({nranks} ranks, {n}^3 grid, e_tol={e_tol:g}) ---",
+        f"({nranks} {runtime} ranks, {n}^3 grid, e_tol={e_tol:g}) ---",
         f"recovered:          {recovered}",
         f"roundtrip rel err:  {err:.3e} (tolerance {tol:.3e})",
         f"phase sequence ok:  {seq_ok}",
@@ -112,6 +121,7 @@ def run_resilience_cli(
     seed: int = 0,
     timeout: float = 15.0,
     suspect_after: float = 0.5,
+    runtime: str = "thread",
     out: str | None = ".",
 ) -> int:
     """Run the requested drills, write artefacts, return the exit code."""
@@ -138,6 +148,7 @@ def run_resilience_cli(
                 seed=seed,
                 timeout=timeout,
                 suspect_after=suspect_after,
+                runtime=runtime,
             )
         finally:
             uninstall()

@@ -37,6 +37,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Iterator
 
+from repro.telemetry.metrics import counter as metrics_counter
 from repro.telemetry.recorder import flight
 
 __all__ = [
@@ -188,6 +189,10 @@ class HeartbeatMonitor:
         failure is *detected and classified* long before peers would
         have timed out on their own.
     """
+
+    #: Stamped onto the ``repro_recoveries_total`` metric so dashboards
+    #: can tell thread-world drills from real process recoveries.
+    runtime_label = "thread"
 
     def __init__(self, nranks: int, *, suspect_after: float = 30.0) -> None:
         self.nranks = int(nranks)
@@ -409,6 +414,9 @@ class HeartbeatMonitor:
             with self._lock:
                 self._phase_spans.append(span)
             flight(name, rank, value=span.duration)
+            metrics_counter(
+                "repro_recoveries_total", phase=name, runtime=self.runtime_label
+            ).inc()
 
     # -- reporting -----------------------------------------------------------------------
 

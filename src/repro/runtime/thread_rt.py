@@ -107,7 +107,12 @@ class ThreadWorld:
         self._revoked: str | None = None
         self._hang_release = threading.Event()
         self._shrink_lock = threading.Lock()
-        self._shrunk: dict[tuple[int, ...], "ThreadWorld"] = {}
+        # Keyed on (survivor set, run epoch): a ThreadWorld is multi-shot,
+        # and a failure episode in a later run() must not resurrect the
+        # shrunk world (stale mailboxes, finished monitor) of an earlier
+        # run that happened to lose the same ranks.
+        self._shrunk: dict[tuple[tuple[int, ...], int], "ThreadWorld"] = {}
+        self._epoch = 0
         self._detect_traced: set[int] = set()
         #: World-shared key/value store surviving rank death (see
         #: repro.resilience.checkpoint — the "burst buffer").
@@ -305,12 +310,16 @@ class ThreadWorld:
     def shrunk_world(self, survivors: tuple[int, ...]) -> "ThreadWorld":
         """The (cached) replacement world over ``survivors``.
 
-        Every survivor asking for the same tuple gets the *same* world —
-        fresh mailboxes, a barrier sized to the survivor count, no fault
-        plan (the injected episode is over), and an armed monitor.
+        Every survivor asking for the same tuple *within one run* gets
+        the *same* world — fresh mailboxes, a barrier sized to the
+        survivor count, no fault plan (the injected episode is over),
+        and an armed monitor.  The cache key includes the run epoch so
+        a repeat failure episode in a later ``run()`` builds a fresh
+        world instead of reusing one with stale state.
         """
         with self._shrink_lock:
-            world = self._shrunk.get(survivors)
+            key = (survivors, self._epoch)
+            world = self._shrunk.get(key)
             if world is None:
                 world = ThreadWorld(len(survivors), timeout=self.timeout, faults=None)
                 world.monitor.start()
@@ -318,7 +327,7 @@ class ThreadWorld:
                 # checkpoints written before the failure stay reachable.
                 world.store = self.store
                 world.store_lock = self.store_lock
-                self._shrunk[survivors] = world
+                self._shrunk[key] = world
             return world
 
     def mark_rank_done(self, rank: int) -> None:
@@ -328,7 +337,7 @@ class ThreadWorld:
         self.monitor.mark_done(rank)
         with self._shrink_lock:
             shrunk = list(self._shrunk.items())
-        for survivors, world in shrunk:
+        for (survivors, _epoch), world in shrunk:
             if rank in survivors:
                 world.mark_rank_done(survivors.index(rank))
 
@@ -349,6 +358,7 @@ class ThreadWorld:
         results: list[Any] = [None] * self.nranks
         errors: list[tuple[int, BaseException]] = []
         err_lock = threading.Lock()
+        self._epoch += 1  # new run = new shrink-cache generation
         self.monitor.start()
 
         def body(rank: int) -> None:
@@ -594,7 +604,12 @@ class ThreadComm(Comm):
                 new_rank = survivors.index(self.rank)
                 new_world.monitor.register_thread(new_rank, threading.current_thread())
                 new_world.monitor.beat(new_rank)
-                return ThreadComm(new_world, new_rank)
+                new_comm = ThreadComm(new_world, new_rank)
+                # Survivor map in *original-world* ranks (composes
+                # across repeated shrinks) — lets topology-aware layers
+                # keep node placement for the survivors.
+                new_comm._parent_ranks = tuple(self.parent_ranks[r] for r in survivors)
+                return new_comm
 
     def failure_report(self, **kwargs: Any) -> FailureReport:
         """Snapshot the watchdog's view of this world (see FailureReport)."""

@@ -71,6 +71,10 @@ FLIGHT_KINDS = (
     "agree",
     "shrink",
     "restart",
+    "leader-failover",  # two-level exchange re-elected a node's leaders
+    "exchange-degrade",  # two-level exchange fell back to the flat path
+    "fault-kill",  # injected process kill about to be delivered
+    "fault-hang",  # injected process hang parked a rank
     "phase",  # coarse execution phase change (detail=phase name)
     "fft",  # one FFT plan execution started/finished
     "abort",  # world abort / kernel exception

@@ -37,6 +37,7 @@ from repro.resilience import (
     reshape_checksums,
     verify_checksums,
 )
+from repro.runtime.shm import fork_available
 from repro.runtime.thread_rt import ThreadWorld, run_spmd
 from repro.runtime.virtual import VirtualWorld
 
@@ -459,3 +460,234 @@ class TestResilienceCli:
 
         with pytest.raises(ValueError, match="unknown drill kind"):
             run_drill("meteor")
+
+    def test_unknown_runtime_rejected(self):
+        from repro.resilience.cli import run_drill
+
+        with pytest.raises(ValueError, match="unknown runtime"):
+            run_drill("kill", runtime="carrier-pigeon")
+
+
+# -- real process death: proc-runtime recovery drills ---------------------------------
+
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="process runtime needs the fork start method"
+)
+
+
+@needs_fork
+class TestProcKillRecovery:
+    """A SIGKILLed child process mid-exchange; survivors finish the FFT.
+
+    The tentpole end-to-end: real process death (not an injected thread
+    exception), ULFM recovery over the shared-memory runtime, and the
+    checkpoint store outliving the child that wrote it.
+    """
+
+    @pytest.mark.parametrize("variant", ["flat", "two-level"])
+    def test_sigkill_mid_exchange_fft_completes(self, variant, rng):
+        import glob
+
+        from repro.compression.truncation import CastCodec
+        from repro.machine.spec import laptop_spec
+        from repro.machine.topology import Topology
+        from repro.runtime.proc import ProcessWorld
+
+        shape, nranks = (16, 8, 8), 4
+        data = (
+            rng.standard_normal(shape) + 1j * rng.standard_normal(shape)
+        ).astype(np.complex128)
+        fft = ResilientFft3d(
+            shape,
+            nranks,
+            codec=CastCodec("fp32"),
+            topology=Topology(laptop_spec(), nranks),
+            variant=variant,
+        )
+        plan = FaultPlan(rules=[FaultRule(kind="kill", rank=1, after=12)])
+        world = ProcessWorld(nranks, timeout=20.0, faults=plan, suspect_after=0.5)
+        results = [r for r in world.run(_roundtrip_kernel(fft, data)) if r is not None]
+        assert len(results) == 1
+        full, recovered, report = results[0]
+        assert recovered
+        err = np.max(np.abs(full - data)) / np.max(np.abs(data))
+        assert err <= fft.plan.guaranteed_tolerance
+        assert report is not None
+        assert report.failed_ranks == [1]
+        assert report.recovered
+        assert report.phase_sequence_complete()  # detect→agree→shrink→restart
+        assert json.loads(json.dumps(report.to_json()))["schema"] == (
+            "repro-failure-report-v1"
+        )
+        assert 1 not in report.survivors
+        # Leak-clean: no world segments (rings, state, checkpoints) left.
+        assert glob.glob(f"/dev/shm/{world.uid}*") == []
+
+    def test_survivors_rebuild_shrunk_topology(self, rng):
+        from repro.compression.truncation import CastCodec
+        from repro.machine.spec import laptop_spec
+        from repro.machine.topology import Topology
+        from repro.runtime.proc import ProcessWorld
+
+        shape, nranks = (16, 8, 8), 4
+        data = (
+            rng.standard_normal(shape) + 1j * rng.standard_normal(shape)
+        ).astype(np.complex128)
+        fft = ResilientFft3d(
+            shape,
+            nranks,
+            codec=CastCodec("fp32"),
+            topology=Topology(laptop_spec(), nranks),
+            variant="two-level",
+        )
+        plan = FaultPlan(rules=[FaultRule(kind="kill", rank=1, after=12)])
+
+        def kernel(comm):
+            local = fft.plan.scatter(data)[comm.rank]
+            fwd = fft.run_spmd(comm, local)
+            if fwd.comm.rank != 0:
+                return None
+            topo = fwd.plan.topology
+            return (
+                type(topo).__name__,
+                tuple(fwd.comm.parent_ranks),
+                topo.ranks_on_node(0),
+                topo.ranks_on_node(1),
+            )
+
+        world = ProcessWorld(nranks, timeout=20.0, faults=plan, suspect_after=0.5)
+        results = [r for r in world.run(kernel) if r is not None]
+        # Old rank 1 died on node 0; survivor placement keeps node ids.
+        assert results == [("ShrunkTopology", (0, 2, 3), (0,), (1, 2))]
+
+    def test_proc_drill_via_cli_runner(self):
+        from repro.resilience.cli import run_drill
+
+        ok, err, report, text = run_drill(
+            "kill", runtime="proc", n=8, timeout=20.0, suspect_after=0.5
+        )
+        assert ok, text
+        assert report is not None and report.recovered
+        assert report.phase_sequence_complete()
+
+
+# -- durable shared-memory checkpoint store -------------------------------------------
+
+
+@needs_fork
+class TestShmCheckpointStore:
+    def _store(self):
+        from repro.resilience.checkpoint import ShmCheckpointStore
+
+        return ShmCheckpointStore(f"reprotest{np.random.randint(1 << 30):x}")
+
+    def _cleanup(self, store, keys):
+        for key in keys:
+            store.discard(key)
+        store.close()
+
+    def test_roundtrip_and_has(self):
+        store = self._store()
+        key = ("fft3d", 4, 2, 1)
+        try:
+            block = np.arange(24, dtype=np.complex128).reshape(2, 3, 4)
+            n = store.save(key, block, meta={"stage": 2})
+            assert n > 0
+            assert store.has(key)
+            out = store.load(key)
+            assert out.dtype == block.dtype and out.shape == block.shape
+            np.testing.assert_array_equal(out, block)
+        finally:
+            self._cleanup(store, [key])
+
+    def test_missing_key_raises(self):
+        store = self._store()
+        try:
+            assert not store.has(("nope", 0))
+            with pytest.raises(CheckpointError, match="no checkpoint"):
+                store.load(("nope", 0))
+        finally:
+            store.close()
+
+    def test_overwrite_and_grow(self):
+        store = self._store()
+        key = ("k",)
+        try:
+            store.save(key, np.zeros(4))
+            big = np.random.default_rng(0).standard_normal((8, 8))
+            store.save(key, big)  # larger frame: segment is recreated
+            np.testing.assert_array_equal(store.load(key), big)
+        finally:
+            self._cleanup(store, [key])
+
+    def test_torn_write_reads_as_missing(self):
+        from multiprocessing.shared_memory import SharedMemory
+
+        store = self._store()
+        key = ("torn",)
+        try:
+            store.save(key, np.ones(16))
+            # Simulate a writer SIGKILLed mid-save: committed length zeroed.
+            seg = SharedMemory(name=store._segment(key), create=False)
+            seg.buf[:8] = b"\x00" * 8
+            seg.close()
+            assert not store.has(key)
+            with pytest.raises(CheckpointError, match="no checkpoint"):
+                store.load(key)
+        finally:
+            self._cleanup(store, [key])
+
+    def test_discard_then_absent(self):
+        store = self._store()
+        key = ("gone",)
+        store.save(key, np.ones(3))
+        store.discard(key)
+        try:
+            assert not store.has(key)
+        finally:
+            store.close()
+
+    def test_survives_writer_death(self):
+        """A child process saves, is SIGKILLed, the parent still loads."""
+        import os
+        import signal
+
+        from multiprocessing import get_context
+
+        store = self._store()
+        key = ("fft3d", 2, 1, 0)
+        block = np.linspace(0.0, 1.0, 32).reshape(4, 8)
+
+        def child():
+            store.save(key, block, meta={"stage": 1})
+            os.kill(os.getpid(), signal.SIGKILL)
+
+        proc = get_context("fork").Process(target=child)
+        proc.start()
+        proc.join(10.0)
+        try:
+            assert proc.exitcode == -signal.SIGKILL
+            np.testing.assert_array_equal(store.load(key), block)
+            assert store.last_complete_stage("fft3d", 2) is None  # rank 1 missing
+        finally:
+            self._cleanup(store, [key])
+
+    def test_for_comm_dispatch(self):
+        """Thread comms get the dict store; proc comms the shm store."""
+        from repro.resilience.checkpoint import ShmCheckpointStore
+        from repro.runtime.proc import ProcessWorld
+
+        def thread_kernel(comm):
+            return type(CheckpointStore.for_comm(comm)).__name__
+
+        assert run_spmd(2, thread_kernel) == ["CheckpointStore"] * 2
+
+        def proc_kernel(comm):
+            store = CheckpointStore.for_comm(comm)
+            name = type(store).__name__
+            store.close()
+            return name
+
+        with ProcessWorld(2, timeout=20.0) as world:
+            assert world.run(proc_kernel) == ["ShmCheckpointStore"] * 2

@@ -23,6 +23,7 @@ import pytest
 
 from repro.errors import (
     CommunicatorError,
+    RevokedError,
     RuntimeAbort,
     StallError,
     WireIntegrityError,
@@ -507,6 +508,139 @@ class TestControlPlaneHardening:
 
         res = spmd(runtime, 2, kernel)
         assert all(r == (6.0, 3.5, [1, 2]) for r in res)
+
+
+# -- ULFM failure handling (agree / revoke / shrink) ----------------------------------
+
+
+class TestUlfmContract:
+    """Both runtimes implement the same ULFM analogue semantics.
+
+    The thread backend injects death into rank threads; the process
+    backend delivers a *real* ``SIGKILL`` to the victim's forked pid —
+    the contract (revocation surfaces as :class:`RevokedError`, agree
+    decides one bitmap, shrink yields a dense working communicator with
+    the survivor map in ``parent_ranks``) must be identical.
+    """
+
+    def test_agree_full_bitmap_when_all_alive(self, runtime):
+        def kernel(comm):
+            return comm.agree()
+
+        res = spmd(runtime, 3, kernel)
+        assert res == [0b111] * 3
+
+    def test_agree_decides_and_of_contributions(self, runtime):
+        def kernel(comm):
+            # Rank 1 claims rank 2 is gone; everyone else contributes the
+            # full view.  The decision is the pessimistic AND, identical
+            # on every rank.
+            mine = 0b011 if comm.rank == 1 else 0b111
+            return comm.agree(mine)
+
+        res = spmd(runtime, 3, kernel)
+        assert res == [0b011] * 3
+
+    def test_revoke_unblocks_peers_with_revoked_error(self, runtime):
+        def kernel(comm):
+            if comm.rank == 0:
+                comm.revoke("contract test")
+                return "revoked-by-me"
+            try:
+                for i in range(1000):
+                    comm.recv(0, tag=99)  # rank 0 never sends: must not hang
+            except RevokedError as exc:
+                return "revoked" if "contract test" in str(exc) else f"odd: {exc}"
+            return "not revoked"
+
+        res = spmd(runtime, 3, kernel, timeout=30.0)
+        assert res[0] == "revoked-by-me"
+        assert res[1:] == ["revoked"] * 2
+
+    def test_kill_then_shrink_yields_working_comm(self, runtime):
+        from repro.faults import FaultPlan, FaultRule
+
+        victim = 1
+
+        def kernel(comm):
+            me = comm.rank
+            try:
+                for i in range(200):
+                    req = comm.isend(np.array([i, me]), (me + 1) % comm.size, tag=5)
+                    comm.recv((me - 1) % comm.size, tag=5)
+                    req.wait()
+            except (RevokedError, StallError):
+                sub = comm.shrink()
+                gathered = sub.allgather(sub.parent_ranks[sub.rank])
+                report = comm.failure_report()
+                return (
+                    sub.size,
+                    tuple(sub.parent_ranks),
+                    tuple(gathered),
+                    report.failed_ranks,
+                    sorted(report.survivors),
+                )
+            return "victim-finished"  # must be unreachable for survivors
+
+        plan = FaultPlan(rules=[FaultRule(kind="kill", rank=victim, after=8)])
+        res = spmd(runtime, 4, kernel, timeout=30.0, faults=plan, suspect_after=0.5)
+        assert res[victim] is None  # the dead rank returns nothing
+        survivors = [res[r] for r in range(4) if r != victim]
+        expected = (3, (0, 2, 3), (0, 2, 3), [victim], [0, 2, 3])
+        assert survivors == [expected] * 3
+
+    def test_shrunk_comm_moves_data(self, runtime):
+        from repro.faults import FaultPlan, FaultRule
+
+        def kernel(comm):
+            try:
+                for i in range(200):
+                    req = comm.isend(
+                        np.full(8, comm.rank, dtype=np.float64),
+                        (comm.rank + 1) % comm.size,
+                        tag=6,
+                    )
+                    comm.recv((comm.rank - 1) % comm.size, tag=6)
+                    req.wait()
+            except (RevokedError, StallError):
+                sub = comm.shrink()
+                # Point-to-point + barrier + alltoallv on the shrunk comm.
+                peer = (sub.rank + 1) % sub.size
+                req = sub.isend(np.arange(4) + sub.rank, peer, tag=7)
+                got = sub.recv((sub.rank - 1) % sub.size, tag=7)
+                req.wait()
+                sub.barrier()
+                rows = sub.alltoallv(
+                    [np.array([sub.rank * 10 + d]) for d in range(sub.size)]
+                )
+                return (int(got[0]), [int(r[0]) for r in rows])
+            return "victim-finished"
+
+        plan = FaultPlan(rules=[FaultRule(kind="kill", rank=2, after=8)])
+        res = spmd(runtime, 3, kernel, timeout=30.0, faults=plan, suspect_after=0.5)
+        assert res[2] is None
+        # Shrunk ranks 0,1 (old 0,1): recv carries the predecessor's rank,
+        # alltoallv rows carry sender*10+dest.
+        assert res[0] == (1, [0, 10])
+        assert res[1] == (0, [1, 11])
+
+
+class TestShrunkWorldCache:
+    def test_same_object_within_run_fresh_across_runs(self):
+        """A ThreadWorld is multi-shot: every run() epoch must get its own
+        shrunk world for a given survivor set (a stale one carries dead
+        mailboxes and a finished monitor)."""
+        from repro.runtime.thread_rt import ThreadWorld
+
+        def kernel(comm):
+            return id(comm.world.shrunk_world((0, 1)))
+
+        world = ThreadWorld(2, timeout=10.0)
+        first = world.run(kernel)
+        second = world.run(kernel)
+        assert first[0] == first[1]  # one shared world per survivor set...
+        assert second[0] == second[1]
+        assert first[0] != second[0]  # ...but never reused across runs
 
 
 # -- cross-runtime differential -------------------------------------------------------

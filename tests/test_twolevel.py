@@ -160,3 +160,73 @@ class TestTwoLevelFallback:
                 want = np.zeros(0) if want is None else want
                 assert np.array_equal(two[d][0][s], want)
         assert tracer.counter_total("internode_messages") == 0
+
+
+class TestLeaderFailover:
+    """Leader re-election over a shrunk (non-uniform) survivor topology."""
+
+    def _shrunk(self, p, g, survivors):
+        from repro.machine.topology import ShrunkTopology
+
+        return ShrunkTopology(_topology(p, g), survivors)
+
+    def test_reelects_leaders_over_live_membership(self):
+        from repro.telemetry.recorder import get_recorder, reset as reset_flight
+
+        # Parent 6 ranks / 3 nodes, rank 1 (a node-0 resident) died.
+        topo = self._shrunk(6, 2, (0, 2, 3, 4, 5))
+        p = topo.nranks
+        send = _send_matrix(p, seed=21)
+        reset_flight()
+        two = _run(p, topo, send, TwoLevelCompressedAlltoallv, codec=CastCodec("fp32"))
+        flat = _run(p, topo, send, CompressedOscAlltoallv, codec=CastCodec("fp32"))
+        for d in range(p):
+            for s in range(p):
+                assert np.array_equal(two[d][0][s], flat[d][0][s]), (d, s)
+        kinds = {e.kind for e in get_recorder().events()}
+        assert "leader-failover" in kinds
+        assert "exchange-degrade" not in kinds
+
+    def test_empty_node_degrades_to_flat_path(self):
+        from repro.telemetry.recorder import get_recorder, reset as reset_flight
+
+        # Node 0 lost both residents: no leader can be elected there.
+        topo = self._shrunk(6, 2, (2, 3, 4, 5))
+        p = topo.nranks
+        send = _send_matrix(p, seed=22)
+        reset_flight()
+        two = _run(p, topo, send, TwoLevelCompressedAlltoallv, codec=CastCodec("fp32"))
+        flat = _run(p, topo, send, CompressedOscAlltoallv, codec=CastCodec("fp32"))
+        for d in range(p):
+            for s in range(p):
+                assert np.array_equal(two[d][0][s], flat[d][0][s]), (d, s)
+        kinds = {e.kind for e in get_recorder().events()}
+        assert "exchange-degrade" in kinds
+
+    def test_uniform_topology_unchanged_leaders(self):
+        # On a uniform topology the live-membership election reduces to
+        # the closed form (m % g): identical traffic pattern as before.
+        p, g = 6, 2
+        topo = _topology(p, g)
+        send = _send_matrix(p, seed=23)
+        with tracing() as tracer:
+            _run(p, topo, send, TwoLevelCompressedAlltoallv)
+        inter = [e for e in tracer.span_events() if e.attrs.get("stage") == "internode"]
+        # One aggregate per ordered node pair, and only ever leader→leader
+        # with the closed-form leaders (rank m%g of each node).
+        pairs = sorted(
+            (topo.node_of(e.rank), topo.node_of(e.attrs["peer"])) for e in inter
+        )
+        nnodes = topo.nnodes
+        assert pairs == sorted(
+            (a, b) for a in range(nnodes) for b in range(nnodes) if a != b
+        )
+        for e in inter:
+            # Sender leader for target node m is local rank m % g; the
+            # receiving leader is local rank my_node % g of node m.
+            assert topo.local_index(e.rank) == (
+                topo.node_of(e.attrs["peer"]) % topo.ranks_per_node
+            )
+            assert topo.local_index(e.attrs["peer"]) == (
+                topo.node_of(e.rank) % topo.ranks_per_node
+            )
